@@ -1,0 +1,21 @@
+"""Shared fixtures for the figure benchmarks."""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic discrete-event simulations: repeated
+    rounds would re-measure identical work, so one round is the right
+    benchmarking unit (wall time of the whole reproduction run).
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    """Fixture form of :func:`run_once`."""
+    def _run(fn):
+        return run_once(benchmark, fn)
+    return _run

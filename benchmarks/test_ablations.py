@@ -1,0 +1,86 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each compares one toggle of the Ziziphus design on the 3-zone / 10%-global
+workload:
+
+- stable leader (skip propose/promise) vs full leader election per txn;
+- skipping the PBFT prepare round in certified endorsements (§IV.B.1) vs
+  running it everywhere;
+- threshold signatures vs 2f+1 signature vectors in certificates;
+- global request batching on vs off;
+- checkpoint-on-migration (lazy synchronization, §V-B) cost.
+"""
+
+from dataclasses import replace
+
+from repro.bench.report import print_table
+from repro.bench.runner import PointSpec, run_point
+
+BASE = PointSpec(protocol="ziziphus", num_zones=3, clients_per_zone=50,
+                 global_fraction=0.1)
+
+
+def _compare(once, label: str, variant: PointSpec):
+    base = run_point(BASE)
+    other = once(lambda: run_point(variant))
+    rows = []
+    for name, result in (("baseline", base), (label, other)):
+        row = result.row()
+        row["variant"] = name
+        rows.append(row)
+    print_table(rows, title=f"Ablation: {label}")
+    return base, other
+
+
+def test_ablation_stable_leader(once):
+    base, other = _compare(once, "leader election per txn",
+                           replace(BASE, stable_leader=False))
+    # Electing a leader per transaction adds two top-level phases:
+    # global latency must rise.
+    assert other.metrics.global_latency_ms > base.metrics.global_latency_ms
+
+
+def test_ablation_prepare_skip(once):
+    base, other = _compare(once, "full prepare everywhere",
+                           replace(BASE, full_prepare=True))
+    # Running the redundant prepare round adds intra-zone traffic; the
+    # optimised protocol should not be slower on global transactions.
+    assert (base.metrics.global_latency_ms
+            <= other.metrics.global_latency_ms * 1.05)
+
+
+def test_ablation_threshold_signatures(once):
+    base, other = _compare(once, "2f+1 signature vectors",
+                           replace(BASE, use_threshold_signatures=False))
+    # Signature vectors cost more verification CPU; throughput should not
+    # improve by turning threshold signatures off.
+    assert other.metrics.throughput_tps <= base.metrics.throughput_tps * 1.10
+
+
+def test_ablation_global_batching(once):
+    def run_unbatched():
+        # Shrink the *global* batch to one migration per ballot.
+        from repro.bench import runner as runner_module
+        saved = runner_module._BENCH_SYNC
+        runner_module._BENCH_SYNC = replace(saved, global_batch_size=1)
+        try:
+            return run_point(replace(BASE, seed=7))
+        finally:
+            runner_module._BENCH_SYNC = saved
+
+    base = run_point(BASE)
+    unbatched = once(run_unbatched)
+    rows = [dict(base.row(), variant="batched"),
+            dict(unbatched.row(), variant="one migration per ballot")]
+    print_table(rows, title="Ablation: global batching")
+    assert unbatched.metrics.throughput_tps < base.metrics.throughput_tps
+
+
+def test_ablation_checkpoint_on_migration(once):
+    base, other = _compare(once, "checkpoint on every migration",
+                           replace(BASE, checkpoint_on_migration=True))
+    # Lazy synchronization is paid for with checkpoint generation; it must
+    # work, and the overhead should be visible but bounded.
+    assert other.metrics.completed > 0
+    assert (other.metrics.throughput_tps
+            > 0.3 * base.metrics.throughput_tps)

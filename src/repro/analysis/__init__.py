@@ -1,0 +1,24 @@
+"""Analytical models: probabilistic zone safety, message complexity."""
+
+from repro.analysis.assignment import (AssignmentAnalysis, analyze_assignment,
+                                       deployment_failure_probability,
+                                       minimum_zone_size,
+                                       zone_failure_probability)
+from repro.analysis.complexity import (endorsement_messages,
+                                       flat_pbft_batch_messages,
+                                       pbft_batch_messages,
+                                       top_level_messages,
+                                       ziziphus_migration_messages)
+
+__all__ = [
+    "AssignmentAnalysis",
+    "analyze_assignment",
+    "deployment_failure_probability",
+    "endorsement_messages",
+    "flat_pbft_batch_messages",
+    "minimum_zone_size",
+    "pbft_batch_messages",
+    "top_level_messages",
+    "zone_failure_probability",
+    "ziziphus_migration_messages",
+]

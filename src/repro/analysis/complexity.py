@@ -1,0 +1,104 @@
+"""Closed-form message-complexity models (paper §I, §IV).
+
+The paper's core complexity claims: PBFT is quadratic in the number of
+participants, so flat PBFT over all ``Z(3f+1)`` nodes is impractical at
+geo scale; Ziziphus's data synchronization protocol is *linear* at the
+top level (only zone primaries talk across zones, certificates replace
+all-to-all checks) and needs only a majority of zones.
+
+These functions model the exact message counts of *this implementation*
+(tests validate them against measured network traffic), plus asymptotic
+helpers used to check the linear-vs-quadratic claim.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "endorsement_messages",
+    "pbft_batch_messages",
+    "ziziphus_migration_messages",
+    "flat_pbft_batch_messages",
+    "top_level_messages",
+]
+
+
+def endorsement_messages(zone_size: int, with_prepare: bool) -> int:
+    """Messages of one intra-zone endorsement round.
+
+    The primary multicasts a pre-prepare and its own vote (2(n-1));
+    every backup multicasts its vote ((n-1)^2); with the PBFT-style
+    prepare round each backup also multicasts a prepare ((n-1)^2 more).
+    """
+    n = zone_size
+    base = 2 * (n - 1) + (n - 1) ** 2
+    if with_prepare:
+        base += (n - 1) ** 2
+    return base
+
+
+def pbft_batch_messages(group_size: int, batch: int) -> int:
+    """Messages to order and answer one PBFT batch of ``batch`` requests.
+
+    requests in + pre-prepare + prepares (backups all-to-all) + commits
+    (everyone all-to-all) + replies.
+    """
+    n = group_size
+    return (batch                      # client requests to the primary
+            + (n - 1)                  # pre-prepare
+            + (n - 1) ** 2             # prepares
+            + n * (n - 1)              # commits
+            + n * batch)               # replies
+
+
+def ziziphus_migration_messages(zones: int, zone_size: int,
+                                batch: int = 1,
+                                migrations_in_batch: int = 1) -> int:
+    """Messages for one stable-leader global batch plus data migration.
+
+    Phases: accept endorsement (with prepare; the ballot is assigned
+    here), ACCEPT fan-out, per-follower accepted endorsements (no
+    prepare), ACCEPTED fan-ins, commit endorsement (no prepare), COMMIT
+    fan-out, initiator-zone replies; then per migrating client the
+    Algorithm 2 state endorsement (with prepare), STATE fan-out, append
+    endorsement (no prepare), and destination-zone replies.
+    """
+    n, z = zone_size, zones
+    total = batch                                       # requests in
+    total += endorsement_messages(n, with_prepare=True)  # accept phase
+    total += (z - 1) * n                                # ACCEPT fan-out
+    total += (z - 1) * endorsement_messages(n, False)   # follower endorse
+    total += (z - 1) * n                                # ACCEPTED fan-in
+    total += endorsement_messages(n, with_prepare=False)  # commit phase
+    total += z * n - 1                                  # COMMIT fan-out
+    total += n * batch                                  # initiator replies
+    per_migration = (endorsement_messages(n, with_prepare=True)  # state
+                     + n                                # STATE fan-out
+                     + endorsement_messages(n, False)   # append
+                     + n)                               # dest replies
+    total += migrations_in_batch * per_migration
+    return total
+
+
+def flat_pbft_batch_messages(zones: int, f_per_zone: int,
+                             batch: int) -> int:
+    """Flat PBFT over the paper's ``3 Z f + 1`` node group."""
+    return pbft_batch_messages(3 * zones * f_per_zone + 1, batch)
+
+
+def top_level_messages(protocol: str, zones: int) -> int:
+    """Cross-zone (WAN) messages of the top level of one global decision,
+    counting only traffic between zones — the quantity the paper's
+    linear-vs-quadratic argument is about.
+
+    - Ziziphus: ACCEPT to Z-1 zones' primaries + ACCEPTED back + COMMIT
+      out: O(Z).
+    - two-level PBFT: pre-prepare + prepare (all-to-all) + commit
+      (all-to-all) among 3F+1 representatives, Z = 2F+1: O(Z^2).
+    """
+    if protocol == "ziziphus":
+        return 3 * (zones - 1)
+    if protocol == "two-level":
+        big_f = (zones - 1) // 2
+        reps = 3 * big_f + 1
+        return (reps - 1) + (reps - 1) ** 2 + reps * (reps - 1)
+    raise ValueError(f"unknown protocol {protocol!r}")

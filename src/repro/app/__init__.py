@@ -1,0 +1,13 @@
+"""Replicated applications: the state machines consensus orders."""
+
+from repro.app.banking import BankingApp, client_prefix
+from repro.app.base import StateMachine
+from repro.app.healthcare import HealthcareApp, patient_prefix
+
+__all__ = [
+    "BankingApp",
+    "HealthcareApp",
+    "StateMachine",
+    "client_prefix",
+    "patient_prefix",
+]

@@ -1,0 +1,52 @@
+"""Replicated state machine interface.
+
+Consensus orders *operations*; the application defines what they mean. Any
+deterministic state machine can be replicated: PBFT replicas and Ziziphus
+zones call :meth:`execute` for committed operations in commit order, and
+checkpointing uses :meth:`snapshot` / :meth:`state_digest`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+__all__ = ["StateMachine"]
+
+
+class StateMachine(ABC):
+    """A deterministic application replicated by consensus.
+
+    Implementations must be deterministic: the same operation sequence must
+    yield the same results and state digest on every replica.
+    """
+
+    @abstractmethod
+    def execute(self, operation: tuple, client_id: str) -> Any:
+        """Apply one committed operation and return its (deterministic)
+        result, which replicas send back to the client."""
+
+    @abstractmethod
+    def snapshot(self) -> dict[str, Any]:
+        """Return a full copy of application state (checkpointing)."""
+
+    @abstractmethod
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Replace application state with ``snapshot``."""
+
+    @abstractmethod
+    def state_digest(self) -> bytes:
+        """Canonical digest of the current state (checkpoint agreement)."""
+
+    def export_client(self, client_id: str) -> dict[str, Any]:
+        """Extract the client's records ``R(c)`` for data migration.
+
+        Default: empty; zone-hosted applications override.
+        """
+        return {}
+
+    def import_client(self, client_id: str, records: dict[str, Any]) -> None:
+        """Append a migrated client's records to the local database."""
+
+    def evict_client(self, client_id: str) -> None:
+        """Drop a migrated-away client's records (source-zone cleanup)."""

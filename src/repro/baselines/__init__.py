@@ -1,0 +1,23 @@
+"""Baseline systems the paper compares against (§VII)."""
+
+from repro.baselines.flat_pbft import (FlatPBFTConfig, FlatPBFTDeployment,
+                                       build_flat_pbft)
+from repro.baselines.metadata_app import CombinedApp
+from repro.baselines.steward import (StewardClient, StewardDeployment,
+                                     build_steward)
+from repro.baselines.two_level_pbft import (TwoLevelConfig,
+                                            TwoLevelDeployment,
+                                            build_two_level)
+
+__all__ = [
+    "CombinedApp",
+    "FlatPBFTConfig",
+    "FlatPBFTDeployment",
+    "StewardClient",
+    "StewardDeployment",
+    "TwoLevelConfig",
+    "TwoLevelDeployment",
+    "build_flat_pbft",
+    "build_steward",
+    "build_two_level",
+]

@@ -1,0 +1,54 @@
+"""State machine combining application data with global meta-data.
+
+The flat-PBFT baseline orders *every* transaction — local banking
+operations and migrations alike — through one consensus group, so its
+replicated state machine must handle both. ``("migrate", client, src,
+dst)`` operations update the global meta-data (with policy enforcement);
+everything else goes to the wrapped application.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.app.base import StateMachine
+from repro.core.metadata import GlobalMetadata, PolicySet
+from repro.crypto.digest import digest
+
+__all__ = ["CombinedApp"]
+
+
+class CombinedApp(StateMachine):
+    """Wraps an application state machine plus global meta-data."""
+
+    def __init__(self, app: StateMachine,
+                 policies: PolicySet | None = None) -> None:
+        self.app = app
+        self.metadata = GlobalMetadata(policies)
+
+    def execute(self, operation: tuple, client_id: str) -> Any:
+        if operation and operation[0] == "migrate":
+            _, client, source_zone, dest_zone = operation
+            outcome = self.metadata.apply_migration(client, source_zone,
+                                                    dest_zone)
+            return outcome.as_result()
+        return self.app.execute(operation, client_id)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {"app": self.app.snapshot(), "meta": self.metadata.snapshot()}
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        self.app.restore(snapshot["app"])
+        self.metadata.restore(snapshot["meta"])
+
+    def state_digest(self) -> bytes:
+        return digest((self.app.state_digest(), self.metadata.state_digest()))
+
+    def export_client(self, client_id: str) -> dict[str, Any]:
+        return self.app.export_client(client_id)
+
+    def import_client(self, client_id: str, records: dict[str, Any]) -> None:
+        self.app.import_client(client_id, records)
+
+    def evict_client(self, client_id: str) -> None:
+        self.app.evict_client(client_id)

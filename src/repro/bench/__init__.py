@@ -1,0 +1,16 @@
+"""Benchmark harness: experiment runner, metrics, figure definitions."""
+
+from repro.bench.metrics import Metrics, compute_metrics
+from repro.bench.report import format_table, print_table
+from repro.bench.runner import PointResult, PointSpec, PROTOCOLS, run_point
+
+__all__ = [
+    "Metrics",
+    "PointResult",
+    "PointSpec",
+    "PROTOCOLS",
+    "compute_metrics",
+    "format_table",
+    "print_table",
+    "run_point",
+]

@@ -1,0 +1,79 @@
+"""ASCII charts for benchmark series.
+
+The harness is text-only; these render throughput/latency series as
+aligned scatter-line charts so the figure benches' output reads like the
+paper's plots::
+
+    ziziphus   |                    .....*
+    two-level  |            ...*
+    flat-pbft  | .*
+               +---------------------------
+                 10        50          120
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["ascii_chart", "print_chart"]
+
+
+def ascii_chart(series: Mapping[str, Sequence[tuple[float, float]]],
+                width: int = 64, height: int = 12,
+                title: str = "", x_label: str = "", y_label: str = "") -> str:
+    """Render named (x, y) series into an ASCII chart.
+
+    Each series gets its own marker; axes are scaled to the data range.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        return f"{title}\n(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    markers = "*o+x#@%&"
+    legend = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        legend.append(f"{marker} {name}")
+        for x, y in values:
+            col = int((x - x_min) / x_span * (width - 1))
+            row = height - 1 - int((y - y_min) / y_span * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    if y_label:
+        lines.append(y_label)
+    top_label = f"{y_max:.4g}"
+    bottom_label = f"{y_min:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            label = top_label.rjust(pad)
+        elif row_index == height - 1:
+            label = bottom_label.rjust(pad)
+        else:
+            label = " " * pad
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * pad + " +" + "-" * width)
+    x_axis = (f"{x_min:.4g}".ljust(width // 2)
+              + f"{x_max:.4g}".rjust(width - width // 2))
+    lines.append(" " * pad + "  " + x_axis)
+    if x_label:
+        lines.append(" " * pad + "  " + x_label)
+    lines.append("   ".join(legend))
+    return "\n".join(lines)
+
+
+def print_chart(series: Mapping[str, Sequence[tuple[float, float]]],
+                **kwargs) -> None:
+    """Print :func:`ascii_chart` output."""
+    print()
+    print(ascii_chart(series, **kwargs))

@@ -1,0 +1,110 @@
+"""Figure experiment definitions (paper §VII).
+
+One function per figure returns the measured rows; results are memoised
+per process so Figure 5 (latency view) reuses Figure 4's sweep instead of
+re-simulating it. Scales are laptop-sized (see EXPERIMENTS.md); the
+sweeps' *structure* matches the paper:
+
+- Fig 4/5: protocols × {3,5,7} zones × {10,30,50}% global × client sweep.
+- Fig 6:   one backup failure per zone, peak-load point per protocol.
+- Fig 7:   zone size f = 1..5 (4..16 nodes/zone), 3 zones.
+- Fig 8:   zone clusters 1..N (3 zones each), six ``.xG(.yC)`` workloads.
+"""
+
+from __future__ import annotations
+
+from repro.bench.runner import PointResult, PointSpec, run_point
+
+__all__ = [
+    "CLIENT_SWEEP",
+    "GLOBAL_FRACTIONS",
+    "ZONE_COUNTS",
+    "fig4_fig5_sweep",
+    "fig6_node_failure",
+    "fig7_zone_size",
+    "fig8_zone_clusters",
+]
+
+#: Clients per zone (paper: 10..500; scaled to the DES).
+CLIENT_SWEEP = (10, 50, 120)
+#: Workloads: 10/30/50% global transactions.
+GLOBAL_FRACTIONS = (0.1, 0.3, 0.5)
+#: Zone counts of Figure 4 (a)/(b)/(c).
+ZONE_COUNTS = (3, 5, 7)
+#: Protocols compared in Figures 4-7.
+FIG4_PROTOCOLS = ("ziziphus", "two-level", "steward", "flat-pbft")
+
+_cache: dict[PointSpec, PointResult] = {}
+
+
+def _point(spec: PointSpec) -> PointResult:
+    result = _cache.get(spec)
+    if result is None:
+        result = run_point(spec)
+        _cache[spec] = result
+    return result
+
+
+def fig4_fig5_sweep(zone_counts=ZONE_COUNTS,
+                    global_fractions=GLOBAL_FRACTIONS,
+                    client_sweep=CLIENT_SWEEP,
+                    protocols=FIG4_PROTOCOLS) -> list[PointResult]:
+    """The shared sweep behind Figures 4 (throughput) and 5 (latency)."""
+    results = []
+    for num_zones in zone_counts:
+        for fraction in global_fractions:
+            for protocol in protocols:
+                for clients in client_sweep:
+                    results.append(_point(PointSpec(
+                        protocol=protocol, num_zones=num_zones,
+                        clients_per_zone=clients,
+                        global_fraction=fraction)))
+    return results
+
+
+def fig6_node_failure(zone_counts=ZONE_COUNTS,
+                      protocols=FIG4_PROTOCOLS,
+                      clients_per_zone: int = 120,
+                      global_fraction: float = 0.1) -> list[PointResult]:
+    """Peak performance under a single backup failure in each zone."""
+    results = []
+    for num_zones in zone_counts:
+        for protocol in protocols:
+            results.append(_point(PointSpec(
+                protocol=protocol, num_zones=num_zones,
+                clients_per_zone=clients_per_zone,
+                global_fraction=global_fraction,
+                backup_failures_per_zone=1)))
+    return results
+
+
+def fig7_zone_size(f_values=(1, 2, 3, 4, 5),
+                   protocols=("ziziphus", "two-level", "flat-pbft"),
+                   clients_per_zone: int = 50,
+                   global_fraction: float = 0.1) -> list[PointResult]:
+    """Fault-tolerance scalability: zone size 3f+1 for f=1..5, 3 zones."""
+    results = []
+    for f in f_values:
+        for protocol in protocols:
+            results.append(_point(PointSpec(
+                protocol=protocol, num_zones=3, f=f,
+                clients_per_zone=clients_per_zone,
+                global_fraction=global_fraction)))
+    return results
+
+
+def fig8_zone_clusters(cluster_counts=(1, 2, 4, 6),
+                       workloads=((0.1, 0.1), (0.1, 0.5), (0.3, 0.1),
+                                  (0.3, 0.5), (0.5, 0.1), (0.5, 0.5)),
+                       clients_per_zone: int = 30) -> list[PointResult]:
+    """Scalability with zone clusters (3 zones per cluster, Ziziphus only)."""
+    results = []
+    for clusters in cluster_counts:
+        for global_fraction, cross_fraction in workloads:
+            results.append(_point(PointSpec(
+                protocol="ziziphus", num_zones=3 * clusters,
+                num_clusters=clusters, zones_per_cluster=3,
+                clients_per_zone=clients_per_zone,
+                global_fraction=global_fraction,
+                cross_cluster_fraction=cross_fraction if clusters > 1 else 0.0)))
+    return results

@@ -1,0 +1,69 @@
+"""CSV export of benchmark results.
+
+Writing results to CSV makes the figure data consumable by external
+plotting tools (the repo itself reports as text tables)::
+
+    from repro.bench.export import write_csv
+    write_csv("fig4.csv", results)
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from repro.bench.runner import PointResult
+
+__all__ = ["result_record", "write_csv", "read_csv"]
+
+_FIELDS = [
+    "protocol", "num_zones", "f", "clients_per_zone", "global_fraction",
+    "cross_cluster_fraction", "num_clusters", "backup_failures_per_zone",
+    "seed", "throughput_tps", "latency_mean_ms", "latency_p50_ms",
+    "latency_p95_ms", "latency_p99_ms", "completed", "local_completed",
+    "global_completed", "local_latency_ms", "global_latency_ms",
+]
+
+
+def result_record(result: PointResult) -> dict:
+    """Flatten one result into a CSV-ready record."""
+    spec, metrics = result.spec, result.metrics
+    return {
+        "protocol": spec.protocol,
+        "num_zones": spec.num_zones,
+        "f": spec.f,
+        "clients_per_zone": spec.clients_per_zone,
+        "global_fraction": spec.global_fraction,
+        "cross_cluster_fraction": spec.cross_cluster_fraction,
+        "num_clusters": spec.num_clusters,
+        "backup_failures_per_zone": spec.backup_failures_per_zone,
+        "seed": spec.seed,
+        "throughput_tps": round(metrics.throughput_tps, 2),
+        "latency_mean_ms": round(metrics.latency_mean_ms, 3),
+        "latency_p50_ms": round(metrics.latency_p50_ms, 3),
+        "latency_p95_ms": round(metrics.latency_p95_ms, 3),
+        "latency_p99_ms": round(metrics.latency_p99_ms, 3),
+        "completed": metrics.completed,
+        "local_completed": metrics.local_completed,
+        "global_completed": metrics.global_completed,
+        "local_latency_ms": round(metrics.local_latency_ms, 3),
+        "global_latency_ms": round(metrics.global_latency_ms, 3),
+    }
+
+
+def write_csv(path: str | Path, results: Iterable[PointResult]) -> Path:
+    """Write results to ``path`` and return it."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_FIELDS)
+        writer.writeheader()
+        for result in results:
+            writer.writerow(result_record(result))
+    return path
+
+
+def read_csv(path: str | Path) -> list[dict]:
+    """Read back an exported CSV (strings; callers convert as needed)."""
+    with Path(path).open() as handle:
+        return list(csv.DictReader(handle))

@@ -1,0 +1,74 @@
+"""Throughput / latency metrics over completed-request records."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.pbft.client import CompletedRequest
+
+__all__ = ["Metrics", "compute_metrics"]
+
+
+def _percentile(sorted_values: list[float], fraction: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, int(round(fraction * (len(sorted_values) - 1)))))
+    return sorted_values[index]
+
+
+@dataclass
+class Metrics:
+    """Aggregate performance numbers for one experiment point."""
+
+    completed: int
+    throughput_tps: float
+    latency_mean_ms: float
+    latency_p50_ms: float
+    latency_p95_ms: float
+    latency_p99_ms: float
+    local_completed: int
+    global_completed: int
+    local_latency_ms: float
+    global_latency_ms: float
+
+    def row(self) -> dict[str, float]:
+        """Flat dict for report tables."""
+        return {
+            "tput_tps": round(self.throughput_tps, 1),
+            "lat_ms": round(self.latency_mean_ms, 2),
+            "p50_ms": round(self.latency_p50_ms, 2),
+            "p95_ms": round(self.latency_p95_ms, 2),
+            "completed": self.completed,
+        }
+
+
+def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
+                    end_ms: float) -> Metrics:
+    """Aggregate records completed in the measurement window.
+
+    Throughput is completions per second over ``[warmup_ms, end_ms)``;
+    latencies are per-request end-to-end times.
+    """
+    window = [r for r in records
+              if warmup_ms <= r.completed_at < end_ms]
+    duration_s = max((end_ms - warmup_ms) / 1000.0, 1e-9)
+    latencies = sorted(r.latency_ms for r in window)
+    locals_ = [r for r in window if not r.is_global]
+    globals_ = [r for r in window if r.is_global]
+
+    def mean(values: list[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return Metrics(
+        completed=len(window),
+        throughput_tps=len(window) / duration_s,
+        latency_mean_ms=mean(latencies),
+        latency_p50_ms=_percentile(latencies, 0.50),
+        latency_p95_ms=_percentile(latencies, 0.95),
+        latency_p99_ms=_percentile(latencies, 0.99),
+        local_completed=len(locals_),
+        global_completed=len(globals_),
+        local_latency_ms=mean([r.latency_ms for r in locals_]),
+        global_latency_ms=mean([r.latency_ms for r in globals_]),
+    )

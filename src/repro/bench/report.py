@@ -1,0 +1,38 @@
+"""Plain-text report emitters for the figure benchmarks.
+
+Each benchmark prints the same series the paper's figure plots, as an
+aligned text table, so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the reproduction report (EXPERIMENTS.md snapshots the output).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["format_table", "print_table"]
+
+
+def format_table(rows: Iterable[dict], title: str = "") -> str:
+    """Render dict rows as an aligned text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no data)"
+    columns = list(rows[0].keys())
+    widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
+              for c in columns}
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(str(row.get(c, "")).ljust(widths[c])
+                               for c in columns))
+    return "\n".join(lines)
+
+
+def print_table(rows: Iterable[dict], title: str = "") -> None:
+    """Print :func:`format_table` output."""
+    print()
+    print(format_table(rows, title))

@@ -1,0 +1,135 @@
+"""Command-line interface.
+
+Run single experiment points or whole paper figures from a shell::
+
+    python -m repro point --protocol ziziphus --zones 3 --clients 50
+    python -m repro compare --zones 3 --global-fraction 0.1
+    python -m repro figure fig4
+    python -m repro analyze-assignment --zones 10 --zone-size 4 --byzantine 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.assignment import analyze_assignment
+from repro.bench.report import format_table
+from repro.bench.runner import PROTOCOLS, PointSpec, run_point
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Ziziphus (ICDE 2023) reproduction harness")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    point = sub.add_parser("point", help="run one experiment point")
+    point.add_argument("--protocol", choices=PROTOCOLS, default="ziziphus")
+    _add_point_args(point)
+
+    compare = sub.add_parser("compare",
+                             help="run all four protocols on one workload")
+    _add_point_args(compare)
+
+    figure = sub.add_parser("figure", help="regenerate one paper figure")
+    figure.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7",
+                                         "fig8"])
+
+    assignment = sub.add_parser(
+        "analyze-assignment",
+        help="probabilistic safety of random node-to-zone assignment")
+    assignment.add_argument("--zones", type=int, default=10)
+    assignment.add_argument("--zone-size", type=int, default=4)
+    assignment.add_argument("--byzantine", type=int, default=10)
+    return parser
+
+
+def _add_point_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--zones", type=int, default=3)
+    parser.add_argument("--f", type=int, default=1)
+    parser.add_argument("--clients", type=int, default=50,
+                        help="clients per zone")
+    parser.add_argument("--global-fraction", type=float, default=0.1)
+    parser.add_argument("--clusters", type=int, default=1)
+    parser.add_argument("--cross-cluster-fraction", type=float, default=0.0)
+    parser.add_argument("--warmup-ms", type=float, default=300.0)
+    parser.add_argument("--measure-ms", type=float, default=500.0)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--failures-per-zone", type=int, default=0)
+
+
+def _spec(args: argparse.Namespace, protocol: str) -> PointSpec:
+    return PointSpec(protocol=protocol, num_zones=args.zones, f=args.f,
+                     clients_per_zone=args.clients,
+                     global_fraction=args.global_fraction,
+                     num_clusters=args.clusters,
+                     cross_cluster_fraction=args.cross_cluster_fraction,
+                     backup_failures_per_zone=args.failures_per_zone,
+                     warmup_ms=args.warmup_ms, measure_ms=args.measure_ms,
+                     seed=args.seed)
+
+
+def _row(result) -> dict:
+    row = result.row()
+    metrics = result.metrics
+    row["local_ms"] = round(metrics.local_latency_ms, 2)
+    row["global_ms"] = round(metrics.global_latency_ms, 1)
+    return row
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "point":
+        result = run_point(_spec(args, args.protocol))
+        print(format_table([_row(result)], title="experiment point"))
+        return 0
+
+    if args.command == "compare":
+        rows = []
+        for protocol in PROTOCOLS:
+            print(f"running {protocol} ...", file=sys.stderr)
+            rows.append(_row(run_point(_spec(args, protocol))))
+        print(format_table(rows, title="protocol comparison"))
+        return 0
+
+    if args.command == "figure":
+        from repro.bench import experiments
+        runner = {
+            "fig4": experiments.fig4_fig5_sweep,
+            "fig5": experiments.fig4_fig5_sweep,
+            "fig6": experiments.fig6_node_failure,
+            "fig7": experiments.fig7_zone_size,
+            "fig8": experiments.fig8_zone_clusters,
+        }[args.name]
+        results = runner()
+        print(format_table([_row(r) for r in results], title=args.name))
+        return 0
+
+    if args.command == "analyze-assignment":
+        analysis = analyze_assignment(zones=args.zones,
+                                      zone_size=args.zone_size,
+                                      byzantine=args.byzantine)
+        print(format_table([{
+            "nodes": analysis.population,
+            "byzantine": analysis.byzantine,
+            "zones": analysis.zones,
+            "zone size": analysis.zone_size,
+            "P[zone unsafe]": f"{analysis.per_zone_failure:.3g}",
+            "P[deployment unsafe]": f"{analysis.deployment_failure:.3g}",
+            "safety bits": f"{analysis.safety_bits():.1f}",
+            "deterministic safe": analysis.deterministic_safe,
+        }], title="random node-to-zone assignment (Proposition 5.3)"))
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,71 @@
+"""Denial-of-service auditing of failure-handling traffic (paper §V-A).
+
+Nodes answer RESPONSE-QUERY messages by re-sending stored responses —
+which an attacker can exploit as a cheap amplification vector. Per the
+paper, "the nodes ... log the response-query messages to detect
+denial-of-service attacks initiated by malicious nodes": this audit
+counts queries per sender over a sliding window and flags senders whose
+rate exceeds what honest failure handling could plausibly generate.
+Flagged senders' queries are still answered-once but further replays are
+dropped (rate limiting), bounding the amplification factor.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["AuditConfig", "QueryAudit"]
+
+
+@dataclass(frozen=True)
+class AuditConfig:
+    """Thresholds for the response-query audit."""
+
+    #: Sliding window length (ms).
+    window_ms: float = 10_000.0
+    #: Queries per sender per window before it is suspected.
+    suspect_threshold: int = 50
+    #: Hard ceiling after which a sender's queries are dropped.
+    drop_threshold: int = 200
+
+
+class QueryAudit:
+    """Per-sender sliding-window counter over response-query traffic."""
+
+    def __init__(self, config: AuditConfig | None = None) -> None:
+        self.config = config or AuditConfig()
+        self._events: dict[str, deque[float]] = {}
+        self.total_queries = 0
+        self.dropped_queries = 0
+
+    def _window(self, sender: str, now_ms: float) -> deque:
+        events = self._events.setdefault(sender, deque())
+        horizon = now_ms - self.config.window_ms
+        while events and events[0] < horizon:
+            events.popleft()
+        return events
+
+    def record(self, sender: str, now_ms: float) -> bool:
+        """Log one query from ``sender``; returns True if it should be
+        answered, False if the sender is being rate-limited."""
+        self.total_queries += 1
+        events = self._window(sender, now_ms)
+        events.append(now_ms)
+        if len(events) > self.config.drop_threshold:
+            self.dropped_queries += 1
+            return False
+        return True
+
+    def rate(self, sender: str, now_ms: float) -> int:
+        """Queries from ``sender`` within the current window."""
+        return len(self._window(sender, now_ms))
+
+    def is_suspected(self, sender: str, now_ms: float) -> bool:
+        """Whether ``sender``'s query rate marks it as a likely attacker."""
+        return self.rate(sender, now_ms) > self.config.suspect_threshold
+
+    def suspected(self, now_ms: float) -> list[str]:
+        """All currently suspected senders."""
+        return [sender for sender in list(self._events)
+                if self.is_suspected(sender, now_ms)]

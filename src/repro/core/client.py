@@ -1,0 +1,201 @@
+"""Mobile Ziziphus client.
+
+A client issues *local* transactions to its current zone and, when it
+moves, a *migration request* (global transaction) to the initiator zone's
+primary — the destination zone by default, or the stable-leader zone when
+that optimisation is on. Completion requires ``f+1`` matching replies from
+one zone: the destination zone after the data migration protocol appends
+R(c) (successful migration), or the initiator zone when the migration was
+rejected by policy.
+
+Following the paper's evaluation methodology, physical mobility is
+simulated: the same client identity simply starts addressing its new zone
+once the migration completes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.zone import ZoneDirectory
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.messages.base import Signed, verify_signed
+from repro.messages.client import ClientReply, ClientRequest, MigrationRequest
+from repro.pbft.client import CompletedRequest
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.process import CostModel, Process
+
+__all__ = ["MobileClient"]
+
+
+class MobileClient(Process):
+    """Closed-loop mobile client of a Ziziphus deployment."""
+
+    def __init__(self, sim: Simulator, network: Network, keys: KeyRegistry,
+                 client_id: str, directory: ZoneDirectory, home_zone: str,
+                 initiator_resolver: Callable[[str, str], str] | None = None,
+                 retransmit_ms: float = 4_000.0) -> None:
+        super().__init__(sim, client_id,
+                         CostModel(base_ms=0.0, verify_ms=0.0))
+        self.network = network
+        self.keys = keys
+        self.directory = directory
+        self.current_zone = home_zone
+        #: Maps (source_zone, dest_zone) to the initiator zone — the
+        #: stable-leader zone for intra-cluster migrations, the destination
+        #: zone otherwise. Defaults to the destination zone.
+        self.initiator_resolver = initiator_resolver
+        self.retransmit_ms = retransmit_ms
+        self.timestamp = 0
+        self.completed: list[CompletedRequest] = []
+        self.on_complete: Callable[[CompletedRequest], None] | None = None
+        self.view_hints: dict[str, int] = {}
+        self._outstanding: Any = None          # ClientRequest | MigrationRequest
+        self._outstanding_zone: str | None = None   # zone whose quorum completes it
+        self._started_at = 0.0
+        self._replies: dict[bytes, set[str]] = {}
+        self._retry_timer = None
+
+    # ------------------------------------------------------------------
+    # Addressing
+    # ------------------------------------------------------------------
+    def _primary_hint(self, zone_id: str) -> str:
+        zone = self.directory.zone(zone_id)
+        return zone.primary(self.view_hints.get(zone_id, 0))
+
+    def _send(self, request: Any, dst: str) -> None:
+        envelope = Signed(request, self.keys.sign(self.node_id, digest(request)))
+        self.network.send(self.node_id, dst, envelope)
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit_local(self, operation: tuple) -> None:
+        """Issue a local transaction on this client's data in its zone."""
+        self.timestamp += 1
+        request = ClientRequest(operation=operation, timestamp=self.timestamp,
+                                sender=self.node_id)
+        self._launch(request, target_zone=self.current_zone)
+
+    def submit_migration(self, dest_zone: str) -> None:
+        """Issue a migration request from the current zone to ``dest_zone``.
+
+        The request goes to the initiator zone's primary: the stable-leader
+        zone when configured, otherwise the destination zone (§IV.B.1).
+        """
+        self.timestamp += 1
+        operation = ("migrate", self.node_id, self.current_zone, dest_zone)
+        request = MigrationRequest(operation=operation,
+                                   timestamp=self.timestamp,
+                                   sender=self.node_id,
+                                   source_zone=self.current_zone,
+                                   dest_zone=dest_zone)
+        if self.initiator_resolver is not None:
+            initiator = self.initiator_resolver(self.current_zone, dest_zone)
+        else:
+            initiator = dest_zone
+        self._launch(request, target_zone=initiator)
+
+    def submit_cross_zone_transfer(self, peer: str, peer_zone: str,
+                                   amount: int) -> None:
+        """Issue a cross-zone transaction (§IV.B.3): move ``amount`` from
+        this client's account to ``peer`` hosted by ``peer_zone``.
+
+        The client's own zone initiates (it is the paying/prepare zone);
+        only the two involved zones participate.
+        """
+        if peer_zone == self.current_zone:
+            self.submit_local(("transfer", peer, amount))
+            return
+        from repro.core.cross_zone import CrossZoneRequest
+        from repro.crypto.digest import digest as _digest
+        self.timestamp += 1
+        steps = {self.current_zone: ("xz-debit", self.node_id, amount),
+                 peer_zone: ("xz-credit", peer, amount)}
+        request = CrossZoneRequest(steps=steps, steps_digest=_digest(steps),
+                                   prepare_zone=self.current_zone,
+                                   timestamp=self.timestamp,
+                                   sender=self.node_id)
+        self._launch(request, target_zone=self.current_zone)
+
+    def _launch(self, request: Any, target_zone: str) -> None:
+        self._outstanding = request
+        self._outstanding_zone = target_zone
+        self._started_at = self.sim.now
+        self._replies.clear()
+        self._send(request, self._primary_hint(target_zone))
+        self._arm_retry()
+
+    def _arm_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+        self._retry_timer = self.set_timer(self.retransmit_ms, self._on_retry)
+
+    def _on_retry(self) -> None:
+        request = self._outstanding
+        if request is None:
+            return
+        # Multicast to all nodes of the target zone; non-primaries relay to
+        # their primary and start suspecting it (§V-A).
+        for node in self.directory.zone(self._outstanding_zone).members:
+            self._send(request, node)
+        self._arm_retry()
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, Signed):
+            return
+        if not isinstance(message.payload, ClientReply):
+            return
+        if not verify_signed(self.keys, message):
+            return
+        self._on_reply(message.payload)
+
+    def _on_reply(self, reply: ClientReply) -> None:
+        try:
+            sender_zone = self.directory.zone_of(reply.sender)
+        except KeyError:
+            return
+        self.view_hints[sender_zone] = max(
+            self.view_hints.get(sender_zone, 0), reply.view)
+        request = self._outstanding
+        if request is None or reply.timestamp != request.timestamp:
+            return
+        result = reply.result
+        if isinstance(result, tuple) and result and result[0] == "sub1-committed":
+            # First sub-transaction committed; final reply comes from the
+            # destination zone after the data migration protocol.
+            self._arm_retry()
+            return
+        key = digest((sender_zone, result))
+        voters = self._replies.setdefault(key, set())
+        voters.add(reply.sender)
+        if len(voters) < self.directory.zone(sender_zone).f + 1:
+            return
+        self._complete(request, result)
+
+    def _complete(self, request: Any, result: Any) -> None:
+        self._outstanding = None
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        is_global = isinstance(request, MigrationRequest)
+        if is_global and isinstance(result, tuple) and result \
+                and result[0] == "migrated":
+            self.current_zone = request.dest_zone
+            # Physical mobility: the client is now near its new zone.
+            self.network.move(self.node_id,
+                              self.directory.zone(request.dest_zone).region)
+        record = CompletedRequest(timestamp=request.timestamp,
+                                  operation=request.operation,
+                                  result=result,
+                                  started_at=self._started_at,
+                                  completed_at=self.sim.now,
+                                  is_global=is_global)
+        self.completed.append(record)
+        if self.on_complete is not None:
+            self.on_complete(record)

@@ -1,0 +1,284 @@
+"""Intra-zone endorsement rounds.
+
+The reusable sub-protocol at the bottom level of Algorithms 1 and 2: the
+zone primary pre-prepares a payload, nodes validate it (via a validator
+registered per instance kind) and multicast a vote whose detached *share*
+signs the payload digest; ``2f+1`` shares aggregate into a quorum
+certificate (or a threshold signature). Per §IV.B.1, a PBFT-style prepare
+round is inserted only when the zone itself assigns the ballot number
+(``use_prepare=True``); otherwise nodes vote directly on the primary's
+pre-prepare.
+
+Completion is observed two ways:
+
+- the node that *leads* an instance gets its ``on_cert`` callback with the
+  aggregated certificate (it then sends the top-level message);
+- any node can register a kind-level ``on_quorum`` callback, fired when it
+  has itself collected a vote quorum (Algorithm 2's record-append, where
+  every destination-zone node acts on the quorum, uses this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.certificates import QuorumCertificate
+from repro.crypto.keys import Signature
+from repro.crypto.threshold import combine_threshold
+from repro.messages.base import Signed
+from repro.messages.endorse import EndorsePrepare, EndorsePrePrepare, EndorseVote
+from repro.pbft.host import HostNode
+
+__all__ = ["EndorsementManager", "EndorsementInstance"]
+
+Validator = Callable[[str, Any, bytes], bool]
+QuorumCallback = Callable[[str, Any, Any], None]
+CertCallback = Callable[[Any], None]
+
+
+@dataclass
+class _Kind:
+    validator: Validator | None = None
+    on_quorum: QuorumCallback | None = None
+
+
+@dataclass
+class EndorsementInstance:
+    """State of one endorsement instance on one node."""
+
+    instance: str
+    view: int = 0
+    payload: Any = None
+    endorse_digest: bytes | None = None
+    use_prepare: bool = False
+    leading: bool = False
+    prepare_senders: set[str] = field(default_factory=set)
+    shares: dict[str, Signature] = field(default_factory=dict)
+    voted: bool = False
+    done: bool = False
+    on_cert: CertCallback | None = None
+
+
+class EndorsementManager:
+    """Runs endorsement instances for one node of one zone."""
+
+    def __init__(self, host: HostNode, zone_members: tuple[str, ...], f: int,
+                 view_provider: Callable[[], int],
+                 use_threshold: bool = False) -> None:
+        self.host = host
+        self.members = tuple(zone_members)
+        self.others = tuple(m for m in zone_members if m != host.node_id)
+        self.f = f
+        self.quorum = 2 * f + 1
+        self.view_provider = view_provider
+        self.use_threshold = use_threshold
+        self._instances: dict[str, EndorsementInstance] = {}
+        self._kinds: dict[str, _Kind] = {}
+        self._retries: dict[str, int] = {}
+        host.register_handler(EndorsePrePrepare, self._on_pre_prepare)
+        host.register_handler(EndorsePrepare, self._on_prepare)
+        host.register_handler(EndorseVote, self._on_vote)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def register_kind(self, prefix: str, validator: Validator | None = None,
+                      on_quorum: QuorumCallback | None = None) -> None:
+        """Configure validation / quorum callbacks for instances whose id
+        starts with ``prefix + "/"`` (or equals ``prefix``).
+
+        Calls merge: a later registration fills in only the callbacks it
+        provides (the cross-cluster engine adds ``on_quorum`` hooks to
+        kinds whose validators the sync engine owns).
+        """
+        kind = self._kinds.setdefault(prefix, _Kind())
+        if validator is not None:
+            kind.validator = validator
+        if on_quorum is not None:
+            if kind.on_quorum is None:
+                kind.on_quorum = on_quorum
+            else:
+                first = kind.on_quorum
+                def chained(instance, payload, cert,
+                            _first=first, _second=on_quorum):
+                    _first(instance, payload, cert)
+                    _second(instance, payload, cert)
+                kind.on_quorum = chained
+
+    def _kind_of(self, instance: str) -> _Kind | None:
+        prefix = instance.split("/", 1)[0]
+        return self._kinds.get(prefix)
+
+    def _get(self, instance: str) -> EndorsementInstance:
+        state = self._instances.get(instance)
+        if state is None:
+            state = EndorsementInstance(instance=instance)
+            self._instances[instance] = state
+        return state
+
+    def primary(self) -> str:
+        """Current primary of this zone (from the local view)."""
+        return self.members[self.view_provider() % len(self.members)]
+
+    def has_instance(self, instance: str) -> bool:
+        """Whether this node has seen the instance's pre-prepare or led it."""
+        state = self._instances.get(instance)
+        return state is not None and state.payload is not None
+
+    def instance_done(self, instance: str) -> bool:
+        """Whether the instance reached a vote quorum on this node."""
+        state = self._instances.get(instance)
+        return state is not None and state.done
+
+    def discard(self, instance: str) -> None:
+        """Drop instance state (GC after the enclosing transaction ends)."""
+        self._instances.pop(instance, None)
+
+    def instance_state(self, instance: str) -> EndorsementInstance | None:
+        """Inspect an instance's state (used by view-change re-drives)."""
+        return self._instances.get(instance)
+
+    # ------------------------------------------------------------------
+    # Leader side
+    # ------------------------------------------------------------------
+    def lead(self, instance: str, payload: Any, endorse_digest: bytes,
+             use_prepare: bool, on_cert: CertCallback) -> None:
+        """Start an endorsement instance as this zone's primary."""
+        view = self.view_provider()
+        state = self._get(instance)
+        state.view = view
+        state.payload = payload
+        state.endorse_digest = endorse_digest
+        state.use_prepare = use_prepare
+        state.leading = True
+        state.on_cert = on_cert
+        if state.done:
+            # A previous primary already drove this instance to quorum and
+            # the votes reached us; hand the certificate over immediately
+            # (happens when a new primary re-drives after a view change).
+            on_cert(self._build_cert(state))
+            return
+        pre_prepare = EndorsePrePrepare(instance=instance, view=view,
+                                        payload=payload,
+                                        endorse_digest=endorse_digest,
+                                        use_prepare=use_prepare,
+                                        sender=self.host.node_id)
+        self.host.multicast_signed(self.others, pre_prepare)
+        # The primary's share is part of the quorum: send it to the zone
+        # (so every node can assemble the certificate) and count it here.
+        share = self.host.keys.sign(self.host.node_id, endorse_digest)
+        vote = EndorseVote(instance=instance, view=view,
+                           endorse_digest=endorse_digest, share=share,
+                           sender=self.host.node_id)
+        self.host.multicast_signed(self.others, vote)
+        self._add_share(state, self.host.node_id, share)
+
+    # ------------------------------------------------------------------
+    # Node side
+    # ------------------------------------------------------------------
+    def _on_pre_prepare(self, sender: str, msg: EndorsePrePrepare,
+                        envelope: Signed) -> None:
+        if sender != self.primary():
+            return
+        state = self._get(msg.instance)
+        if state.payload is not None and state.endorse_digest != msg.endorse_digest:
+            return  # conflicting pre-prepare; refuse to endorse both
+        kind = self._kind_of(msg.instance)
+        if kind is not None and kind.validator is not None:
+            verdict = kind.validator(msg.instance, msg.payload,
+                                     msg.endorse_digest)
+            if verdict == "retry":
+                # Validation depends on state that is still in flight (e.g.
+                # the enclosing global commit hasn't executed locally yet):
+                # re-dispatch shortly instead of dropping the pre-prepare.
+                attempts = self._retries.get(msg.instance, 0)
+                if attempts < 200:
+                    self._retries[msg.instance] = attempts + 1
+                    self.host.set_timer(10.0, self._on_pre_prepare,
+                                        sender, msg, envelope)
+                return
+            if not verdict:
+                return
+            self._retries.pop(msg.instance, None)
+        state.view = msg.view
+        state.payload = msg.payload
+        state.endorse_digest = msg.endorse_digest
+        state.use_prepare = msg.use_prepare
+        if msg.use_prepare:
+            prepare = EndorsePrepare(instance=msg.instance, view=msg.view,
+                                     endorse_digest=msg.endorse_digest,
+                                     sender=self.host.node_id)
+            state.prepare_senders.add(self.host.node_id)
+            self.host.multicast_signed(self.others, prepare)
+            self._check_prepared(state)
+        else:
+            self._cast_vote(state)
+
+    def _on_prepare(self, sender: str, msg: EndorsePrepare,
+                    envelope: Signed) -> None:
+        if sender not in self.members:
+            return
+        state = self._get(msg.instance)
+        if state.endorse_digest is not None and state.endorse_digest != msg.endorse_digest:
+            return
+        state.prepare_senders.add(sender)
+        self._check_prepared(state)
+
+    def _check_prepared(self, state: EndorsementInstance) -> None:
+        if state.payload is None or not state.use_prepare:
+            return
+        # Pre-prepare sender (the primary) counts as prepared.
+        voters = set(state.prepare_senders)
+        voters.add(self.primary())
+        if len(voters) >= self.quorum:
+            self._cast_vote(state)
+
+    def _cast_vote(self, state: EndorsementInstance) -> None:
+        if state.voted or state.endorse_digest is None:
+            return
+        state.voted = True
+        share = self.host.keys.sign(self.host.node_id, state.endorse_digest)
+        vote = EndorseVote(instance=state.instance, view=state.view,
+                           endorse_digest=state.endorse_digest, share=share,
+                           sender=self.host.node_id)
+        self.host.multicast_signed(self.others, vote)
+        self._add_share(state, self.host.node_id, share)
+
+    def _on_vote(self, sender: str, msg: EndorseVote,
+                 envelope: Signed) -> None:
+        if sender not in self.members:
+            return
+        state = self._get(msg.instance)
+        if state.endorse_digest is not None and state.endorse_digest != msg.endorse_digest:
+            return
+        if state.endorse_digest is None:
+            # Vote arrived before the pre-prepare; remember the digest so
+            # shares can still aggregate once the payload shows up.
+            state.endorse_digest = msg.endorse_digest
+        if not self.host.keys.verify(msg.share, msg.endorse_digest):
+            return
+        self._add_share(state, sender, msg.share)
+
+    def _add_share(self, state: EndorsementInstance, sender: str,
+                   share: Signature) -> None:
+        state.shares[sender] = share
+        if state.done or len(state.shares) < self.quorum:
+            return
+        if state.payload is None:
+            return  # quorum of shares but no validated payload yet
+        state.done = True
+        cert = self._build_cert(state)
+        if state.leading and state.on_cert is not None:
+            state.on_cert(cert)
+        kind = self._kind_of(state.instance)
+        if kind is not None and kind.on_quorum is not None:
+            kind.on_quorum(state.instance, state.payload, cert)
+
+    def _build_cert(self, state: EndorsementInstance):
+        shares = list(state.shares.values())
+        if self.use_threshold:
+            return combine_threshold(self.host.keys, state.endorse_digest,
+                                     shares, frozenset(self.members),
+                                     self.quorum)
+        return QuorumCertificate.aggregate(state.endorse_digest, shares)

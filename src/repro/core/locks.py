@@ -1,0 +1,44 @@
+"""Per-client lock bits.
+
+Nodes maintain a *lock* bit per client tracking mobility: ``True`` means
+the client's data in this zone is up to date and local transactions are
+accepted; the source zone flips it to ``False`` during the promise phase
+of a migration (no more local requests accepted there), and the
+destination zone flips it to ``True`` once the migrated state is appended
+(paper §IV.A, Algorithms 1-2).
+"""
+
+from __future__ import annotations
+
+__all__ = ["LockTable"]
+
+
+class LockTable:
+    """Tracks the lock bit per client (default: unlocked/up-to-date)."""
+
+    def __init__(self) -> None:
+        self._locked_out: set[str] = set()
+        self._known: set[str] = set()
+
+    def register(self, client_id: str) -> None:
+        """Mark a client as hosted here with up-to-date data."""
+        self._known.add(client_id)
+        self._locked_out.discard(client_id)
+
+    def is_current(self, client_id: str) -> bool:
+        """Whether the client's data here is up to date (lock == TRUE)."""
+        return client_id in self._known and client_id not in self._locked_out
+
+    def hosts(self, client_id: str) -> bool:
+        """Whether this zone has ever hosted the client."""
+        return client_id in self._known
+
+    def mark_stale(self, client_id: str) -> None:
+        """Set lock(c) = FALSE: the client is migrating away."""
+        self._known.add(client_id)
+        self._locked_out.add(client_id)
+
+    def mark_current(self, client_id: str) -> None:
+        """Set lock(c) = TRUE: the client's data here is authoritative."""
+        self._known.add(client_id)
+        self._locked_out.discard(client_id)

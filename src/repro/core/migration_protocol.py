@@ -1,0 +1,328 @@
+"""Data migration protocol (Algorithm 2).
+
+After the data synchronization protocol commits a migration, the source
+zone's primary generates the client state ``R(c)``, certifies it with an
+intra-zone endorsement (pre-prepare / prepare / local-state), and ships it
+to the destination zone in a STATE message. The destination zone endorses
+the received state (pre-prepare / local-commit, no prepare round); once a
+node sees the ``2f+1`` vote quorum it sets ``lock(c) = TRUE``, appends
+``R(c)`` to its database, and replies to the client.
+
+A global ballot may commit a *batch* of migrations, so protocol state here
+is keyed by ``(ballot, client)``.
+
+Failure handling mirrors §V-A: destination nodes that executed the commit
+but never receive STATE query the source zone; source nodes answer with
+the stored STATE envelope or come to suspect their own primary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.crypto.digest import digest
+from repro.messages.base import Signed
+from repro.messages.client import ClientReply, MigrationRequest
+from repro.messages.migration import StateTransfer, state_body
+from repro.messages.query import ResponseQuery
+from repro.messages.sync import Ballot
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import ZiziphusNode
+
+__all__ = ["MigrationConfig", "MigrationEngine"]
+
+#: Protocol state key: one migration within one committed ballot.
+MigKey = tuple[Ballot, str]
+
+
+@dataclass
+class MigrationConfig:
+    """Tunables for the data migration protocol."""
+
+    #: Destination-side timeout waiting for STATE after the global commit.
+    state_timeout_ms: float = 4_000.0
+    #: Non-primary timeout waiting for the primary to start an endorsement.
+    watch_timeout_ms: float = 2_000.0
+
+
+@dataclass(frozen=True)
+class StateContext:
+    """Endorsed by the source zone before STATE goes out.
+
+    ``records`` is excluded from the context digest; integrity flows
+    through ``records_digest``, which validators recompute.
+    """
+
+    ballot: Ballot
+    client_id: str
+    records: dict[str, Any] = field(compare=False, metadata={"digest": False})
+    records_digest: bytes = b""
+
+
+class MigrationEngine:
+    """Runs Algorithm 2 for one node."""
+
+    def __init__(self, node: "ZiziphusNode",
+                 config: MigrationConfig | None = None) -> None:
+        self.node = node
+        self.directory = node.directory
+        self.config = config or MigrationConfig()
+        self.my_zone = node.zone_info
+
+        self._state_envs: dict[MigKey, Signed] = {}
+        self._source_zone_of: dict[MigKey, str] = {}
+        #: Cross-cluster: the source cluster ships STATE under *its* ballot;
+        #: destination nodes map it back to their own cluster's ballot.
+        self._aliases: dict[Ballot, Ballot] = {}
+        self._applied: set[MigKey] = set()
+        self._buffered_states: dict[MigKey, tuple[str, StateTransfer, Signed]] = {}
+        self._state_timers: dict[MigKey, Any] = {}
+        self.migrations_applied = 0
+
+        node.register_handler(StateTransfer, self._on_state)
+        node.endorsement.register_kind("mig-state",
+                                       validator=self._validate_state_ctx)
+        node.endorsement.register_kind("mig-append",
+                                       validator=self._validate_append_ctx,
+                                       on_quorum=self._on_append_quorum)
+
+    # ------------------------------------------------------------------
+    # Ballot aliasing (cross-cluster)
+    # ------------------------------------------------------------------
+    def alias_ballot(self, foreign: Ballot, local: Ballot) -> None:
+        """Map a peer cluster's ballot onto this cluster's (cross-cluster)."""
+        self._aliases[foreign] = local
+        # Re-key anything that arrived before the mapping was known.
+        for key in [k for k in self._buffered_states if k[0] == foreign]:
+            self._buffered_states[(local, key[1])] = \
+                self._buffered_states.pop(key)
+
+    def _canonical(self, ballot: Ballot) -> Ballot:
+        return self._aliases.get(ballot, ballot)
+
+    def _key(self, ballot: Ballot, client_id: str) -> MigKey:
+        return (self._canonical(ballot), client_id)
+
+    # ------------------------------------------------------------------
+    # Hooks from the sync engine (called on every node after execution)
+    # ------------------------------------------------------------------
+    def on_migration_committed(self, ballot: Ballot,
+                               request: MigrationRequest) -> None:
+        """React to an executed (accepted) migration, per this node's role."""
+        key = self._key(ballot, request.sender)
+        self._source_zone_of[key] = request.source_zone
+        zone_id = self.my_zone.zone_id
+        if zone_id == request.source_zone:
+            if self.node.replica.is_primary:
+                self.start_record_generation(ballot, request)
+            else:
+                self._watch(key, self._instance("state", ballot,
+                                                request.sender))
+        elif zone_id == request.dest_zone:
+            buffered = self._buffered_states.pop(key, None)
+            if buffered is not None:
+                self._on_state(*buffered)
+            elif key not in self._applied:
+                self._arm_state_timer(key, request)
+
+    # ------------------------------------------------------------------
+    # Record generation (source zone)
+    # ------------------------------------------------------------------
+    def _instance(self, stage: str, ballot: Ballot, client_id: str) -> str:
+        return f"mig-{stage}/{ballot.seq}.{ballot.zone_id}/{client_id}"
+
+    def start_record_generation(self, ballot: Ballot,
+                                request: MigrationRequest) -> None:
+        """Source primary: extract R(c), endorse it, ship it (lines 9-17)."""
+        records = self.node.app.export_client(request.sender)
+        records_digest = digest(records)
+        context = StateContext(ballot=ballot, client_id=request.sender,
+                               records=records, records_digest=records_digest)
+        body = state_body(ballot, request.sender, records_digest)
+        self.node.endorsement.lead(
+            self._instance("state", ballot, request.sender), context, body,
+            use_prepare=True,
+            on_cert=lambda cert, b=ballot, r=request, rec=records:
+            self._send_state(b, r, rec, cert))
+
+    def _send_state(self, ballot: Ballot, request: MigrationRequest,
+                    records: dict[str, Any], cert) -> None:
+        # Ship exactly the snapshot the zone endorsed: the live store may
+        # have drifted (e.g. an incoming transfer) since the export, and
+        # the certificate binds the endorsed digest.
+        state = StateTransfer(view=self.node.replica.view, ballot=ballot,
+                              client_id=request.sender, records=records,
+                              records_digest=digest(records), cert=cert,
+                              sender=self.node.node_id)
+        env = Signed(state, self.node.keys.sign(self.node.node_id,
+                                                digest(state)))
+        self._state_envs[self._key(ballot, request.sender)] = env
+        dest_nodes = self.directory.zone(request.dest_zone).members
+        for dst in dest_nodes:
+            self.node.forward(dst, env)
+
+    def _validate_state_ctx(self, instance: str, context: Any,
+                            endorse_digest: bytes) -> Any:
+        if not isinstance(context, StateContext):
+            return False
+        if digest(context.records) != context.records_digest:
+            return False
+        expected = state_body(context.ballot, context.client_id,
+                              context.records_digest)
+        if endorse_digest != expected:
+            return False
+        # Only endorse states for migrations this zone committed as source.
+        result = self.node.sync.result_for(context.ballot, context.client_id)
+        if result is None:
+            return "retry"  # the global commit may still be executing here
+        return result[0] == "migrated"
+
+    # ------------------------------------------------------------------
+    # Record appending (destination zone)
+    # ------------------------------------------------------------------
+    def _on_state(self, sender: str, state: StateTransfer,
+                  envelope: Signed) -> None:
+        key = self._key(state.ballot, state.client_id)
+        if key in self._applied:
+            return
+        if self.node.sync.result_for(self._canonical(state.ballot),
+                                     state.client_id) is None:
+            # STATE raced ahead of the global commit; park it.
+            self._buffered_states[key] = (sender, state, envelope)
+            return
+        if digest(state.records) != state.records_digest:
+            return
+        source_zone = self._source_zone_of.get(key)
+        if source_zone is None:
+            return
+        body = state_body(state.ballot, state.client_id, state.records_digest)
+        if not self.directory.cert_valid(state.cert, body, source_zone):
+            return
+        self._state_envs.setdefault(key, envelope)
+        instance = self._instance("append", state.ballot, state.client_id)
+        if self.node.replica.is_primary:
+            self.node.endorsement.lead(
+                instance, state, body, use_prepare=False,
+                on_cert=lambda cert: None)
+        else:
+            self._watch(key, instance)
+
+    def _validate_append_ctx(self, instance: str, context: Any,
+                             endorse_digest: bytes) -> Any:
+        if not isinstance(context, StateTransfer):
+            return False
+        ballot = context.ballot
+        if self.node.sync.result_for(self._canonical(ballot),
+                                     context.client_id) is None:
+            return "retry"  # the global commit may still be executing here
+        if digest(context.records) != context.records_digest:
+            return False
+        key = self._key(ballot, context.client_id)
+        source_zone = self._source_zone_of.get(key)
+        if source_zone is None:
+            return False
+        body = state_body(ballot, context.client_id, context.records_digest)
+        if endorse_digest != body:
+            return False
+        return self.directory.cert_valid(context.cert, body, source_zone)
+
+    def _on_append_quorum(self, instance: str, context: Any, cert) -> None:
+        """Lines 22-25: every destination node appends on the vote quorum."""
+        if not isinstance(context, StateTransfer):
+            return
+        key = self._key(context.ballot, context.client_id)
+        if key in self._applied:
+            return
+        self._applied.add(key)
+        self._cancel_state_timer(key)
+        self.node.app.import_client(context.client_id, context.records)
+        self.node.locks.mark_current(context.client_id)
+        self.migrations_applied += 1
+        request = self._request_of(context.ballot, context.client_id)
+        if request is not None:
+            reply = ClientReply(view=self.node.replica.view,
+                                timestamp=request.timestamp,
+                                client_id=request.sender,
+                                result=("migrated", "ok", request.dest_zone),
+                                sender=self.node.node_id)
+            self.node.send_signed(request.sender, reply)
+        self.node.on_migration_applied(context.ballot, context.client_id)
+
+    def _request_of(self, ballot: Ballot,
+                    client_id: str) -> MigrationRequest | None:
+        for candidate in (self._canonical(ballot), ballot):
+            txn = self.node.sync.txns.get(candidate)
+            if txn is None:
+                continue
+            for env in txn.batch:
+                if env.payload.sender == client_id:
+                    return env.payload
+        return None
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _watch(self, key: MigKey, instance: str) -> None:
+        self.node.set_timer(self.config.watch_timeout_ms,
+                            self._on_watch_expired, key, instance)
+
+    def _on_watch_expired(self, key: MigKey, instance: str) -> None:
+        if key in self._applied:
+            return
+        if self.node.endorsement.instance_done(instance):
+            return
+        if not self.node.endorsement.has_instance(instance):
+            self.node.replica.view_changes.initiate(self.node.replica.view + 1)
+
+    def _arm_state_timer(self, key: MigKey,
+                         request: MigrationRequest) -> None:
+        if key in self._state_timers:
+            return
+        timer = self.node.set_timer(self.config.state_timeout_ms,
+                                    self._on_state_timeout, key, request)
+        self._state_timers[key] = timer
+
+    def _cancel_state_timer(self, key: MigKey) -> None:
+        timer = self._state_timers.pop(key, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_state_timeout(self, key: MigKey,
+                          request: MigrationRequest) -> None:
+        self._state_timers.pop(key, None)
+        if key in self._applied:
+            return
+        ballot, _client = key
+        query = ResponseQuery(view=self.node.replica.view, ballot=ballot,
+                              request_digest=digest(request.sender),
+                              phase="state", zone_id=self.my_zone.zone_id,
+                              sender=self.node.node_id)
+        source_nodes = self.directory.zone(request.source_zone).members
+        self.node.multicast_signed(source_nodes, query)
+        self._arm_state_timer(key, request)
+
+    def answer_state_query(self, sender: str, query: ResponseQuery) -> None:
+        """Source-side response to a STATE query (re-send or suspect)."""
+        # The query names the client via the request digest; scan our state
+        # envelopes for this ballot.
+        for key, env in self._state_envs.items():
+            ballot, client_id = key
+            if ballot == self._canonical(query.ballot) and \
+                    digest(client_id) == query.request_digest:
+                self.node.forward(sender, env)
+                return
+        # We executed the commit but our primary never shipped the state:
+        # nudge record generation if we are (now) the primary.
+        if not self.node.replica.is_primary:
+            return
+        txn = self.node.sync.txns.get(self._canonical(query.ballot))
+        if txn is None:
+            return
+        for env in txn.batch:
+            request = env.payload
+            if digest(request.sender) == query.request_digest and \
+                    self.my_zone.zone_id == request.source_zone:
+                self.start_record_generation(query.ballot, request)
+                return

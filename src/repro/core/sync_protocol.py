@@ -1,0 +1,1032 @@
+"""Data synchronization protocol (Algorithm 1).
+
+Orders global transactions (client migrations) across all zones of a
+cluster with *linear* top-level communication and a *majority-of-zones*
+quorum. The top level follows Paxos (propose, promise, accept, accepted,
+commit); every top-level message carries a ``2f+1`` intra-zone certificate
+built by an endorsement round (:mod:`repro.core.endorsement`), which is
+what confines Byzantine behaviour inside zones.
+
+With the *stable leader* optimisation (multi-Paxos style, used in the
+paper's evaluation) the propose/promise leader-election phases are
+skipped and the protocol runs accept → accepted → commit.
+
+The global primary *batches* migration requests: one ballot orders a batch
+of requests, amortising the endorsement rounds and WAN phases — the same
+batching every PBFT deployment applies to local transactions.
+
+Execution ordering: each message names ``prev_ballot``, the latest ballot
+its sender had accepted; a COMMIT executes only after its predecessor, so
+all nodes apply migrations to the meta-data in the same order. Missing
+predecessors are fetched with RESPONSE-QUERY (paper §V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from repro.crypto.digest import digest
+from repro.messages.base import Signed, verify_signed
+from repro.messages.client import ClientReply, MigrationRequest
+from repro.messages.query import ResponseQuery
+from repro.messages.sync import (GENESIS_BALLOT, Accept, Accepted, Ballot,
+                                 CheckpointRef, GlobalCommit, Promise, Propose,
+                                 accept_body, accepted_body, commit_body,
+                                 promise_body, propose_body)
+from repro.sim.rng import derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.node import ZiziphusNode
+
+__all__ = ["SyncConfig", "SyncEngine", "GlobalTxnState"]
+
+
+@dataclass
+class SyncConfig:
+    """Tunables for the data synchronization protocol."""
+
+    #: Multi-Paxos stable leader: skip the propose/promise phases.
+    stable_leader: bool = True
+    #: Ablation: run the PBFT prepare round in *every* endorsement (the
+    #: paper's optimisation is to skip it once the ballot is certified).
+    full_prepare_everywhere: bool = False
+    #: Global batching: migrations ordered per ballot (1 disables).
+    global_batch_size: int = 8
+    global_batch_timeout_ms: float = 2.0
+    #: Follower timeout waiting for COMMIT after sending ACCEPTED.
+    commit_timeout_ms: float = 4_000.0
+    #: Initiator timeout waiting for a majority of PROMISE/ACCEPTED.
+    phase_timeout_ms: float = 4_000.0
+    #: Non-primary timeout waiting for the primary to start an endorsement.
+    watch_timeout_ms: float = 2_000.0
+    #: Generate a local checkpoint whenever a migration request arrives
+    #: (the paper's lazy-synchronization policy).
+    checkpoint_on_migration: bool = True
+    #: Cap retained committed envelopes (response-query replay window).
+    commit_history: int = 512
+
+
+# ----------------------------------------------------------------------
+# Endorsement payload contexts (what intra-zone nodes validate and sign)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProposeContext:
+    """Endorsed by the initiator zone before PROPOSE goes out."""
+
+    ballot: Ballot
+    requests: tuple[Signed, ...]
+
+
+@dataclass(frozen=True)
+class PromiseContext:
+    """Endorsed by a follower zone before PROMISE goes back."""
+
+    ballot: Ballot
+    prev_ballot: Ballot
+    zone_id: str
+    propose: Propose
+
+
+@dataclass(frozen=True)
+class AcceptContext:
+    """Endorsed by the initiator zone before ACCEPT goes out.
+
+    Carries the PROMISE envelopes (q1, q2, ... in the paper's pre-prepare)
+    so zone nodes can check the majority quorum themselves. Empty under
+    the stable-leader optimisation.
+    """
+
+    ballot: Ballot
+    prev_ballot: Ballot
+    requests: tuple[Signed, ...]
+    promises: tuple[Signed, ...]
+
+
+@dataclass(frozen=True)
+class AcceptedContext:
+    """Endorsed by a follower zone before ACCEPTED goes back."""
+
+    ballot: Ballot
+    prev_ballot: Ballot
+    zone_id: str
+    accept: Accept
+
+
+@dataclass(frozen=True)
+class CommitContext:
+    """Endorsed by the initiator zone before COMMIT goes out."""
+
+    ballot: Ballot
+    prev_ballot: Ballot
+    requests: tuple[Signed, ...]
+    accepteds: tuple[Signed, ...]
+
+
+@dataclass
+class GlobalTxnState:
+    """Per-ballot protocol state on one node."""
+
+    ballot: Ballot
+    batch: tuple[Signed, ...] = ()
+    request_digest: bytes | None = None
+    prev_ballot: Ballot | None = None
+    phase: str = "start"
+    promises: dict[str, Signed] = field(default_factory=dict)
+    accepteds: dict[str, Signed] = field(default_factory=dict)
+    accept_env: Signed | None = None
+    commit_env: Signed | None = None
+    committed: bool = False
+    executed: bool = False
+    commit_timer: Any = None
+    phase_timer: Any = None
+    watch_timer: Any = None
+
+
+def batch_digest(batch: tuple[Signed, ...]) -> bytes:
+    """Canonical digest identifying a batch of signed requests."""
+    return digest(tuple(env.payload for env in batch))
+
+
+class SyncEngine:
+    """Runs Algorithm 1 for one node within one set of participant zones."""
+
+    def __init__(self, node: "ZiziphusNode", zone_ids: list[str],
+                 config: SyncConfig | None = None,
+                 instance_prefix: str = "gsync") -> None:
+        self.node = node
+        self.directory = node.directory
+        self.zone_ids = list(zone_ids)
+        self.config = config or SyncConfig()
+        self.prefix = instance_prefix
+        self.my_zone = node.zone_info
+        self._rng = derive_rng(0, "sync", node.node_id)
+
+        self.highest_seen = 0
+        self.last_accepted = GENESIS_BALLOT
+        self.chain_tail = GENESIS_BALLOT      # initiator-side ordering chain
+        #: Lemma 5.5 guard: the zone endorses at most one ballot per global
+        #: sequence number (allows pipelined instances, forbids conflicts).
+        self.accepted_seqs: dict[int, str] = {}
+        self.txns: dict[Ballot, GlobalTxnState] = {}
+        #: Per-ballot execution results: client id -> result tuple.
+        self.executed_results: dict[Ballot, dict[str, Any]] = {}
+        self.pending_commits: dict[Ballot, list[Ballot]] = {}
+        self.request_dedup: dict[tuple[str, int], Ballot] = {}
+        #: Requests this node has seen inside any ballot's batch; lets
+        #: non-primaries tell "handled" from "dropped by our primary".
+        self.seen_requests: set[tuple[str, int]] = set()
+        self._batch_buffer: dict[bytes, Signed] = {}
+        self._batch_timer = None
+        self._watched_requests: dict[bytes, Any] = {}
+        self._query_log: dict[tuple[Ballot, str], set[str]] = {}
+        self._commit_order: list[Ballot] = []
+        #: Cross-cluster hook: ballots whose commit phase is held until the
+        #: peer cluster is PREPARED (callback receives the txn state).
+        self.hold_commit: dict[Ballot, Any] = {}
+        self.migrations_executed = 0
+
+        host = node
+        host.register_handler(MigrationRequest, self._on_migration_request)
+        host.register_handler(Propose, self._on_propose)
+        host.register_handler(Promise, self._on_promise)
+        host.register_handler(Accept, self._on_accept)
+        host.register_handler(Accepted, self._on_accepted)
+        host.register_handler(GlobalCommit, self._on_commit)
+        host.register_handler(ResponseQuery, self._on_response_query)
+
+        endorse = node.endorsement
+        endorse.register_kind(f"{self.prefix}-propose",
+                              validator=self._validate_propose_ctx)
+        endorse.register_kind(f"{self.prefix}-promise",
+                              validator=self._validate_promise_ctx)
+        endorse.register_kind(f"{self.prefix}-accept",
+                              validator=self._validate_accept_ctx)
+        endorse.register_kind(f"{self.prefix}-accepted",
+                              validator=self._validate_accepted_ctx)
+        endorse.register_kind(f"{self.prefix}-commit",
+                              validator=self._validate_commit_ctx)
+        node.replica.on_view_change.append(self._on_local_view_change)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @property
+    def host(self):
+        """The hosting node (send/timer surface)."""
+        return self.node
+
+    def _instance(self, phase: str, ballot: Ballot) -> str:
+        return f"{self.prefix}-{phase}/{ballot.seq}.{ballot.zone_id}"
+
+    def _txn(self, ballot: Ballot) -> GlobalTxnState:
+        txn = self.txns.get(ballot)
+        if txn is None:
+            txn = GlobalTxnState(ballot=ballot)
+            self.txns[ballot] = txn
+        return txn
+
+    def _is_zone_primary(self) -> bool:
+        return self.node.replica.is_primary
+
+    @property
+    def majority(self) -> int:
+        """Majority-of-zones quorum Q_M."""
+        return self.directory.majority_quorum(self.zone_ids)
+
+    def _other_zone_nodes(self) -> list[str]:
+        return [m for zid in self.zone_ids if zid != self.my_zone.zone_id
+                for m in self.directory.zone(zid).members]
+
+    def _all_nodes(self) -> list[str]:
+        return self.directory.nodes_of_zones(self.zone_ids)
+
+    def _use_prepare(self, assigning_ballot: bool) -> bool:
+        if self.config.full_prepare_everywhere:
+            return True
+        return assigning_ballot
+
+    def _my_checkpoint_ref(self) -> CheckpointRef | None:
+        stable = self.node.replica.checkpoints.stable
+        if stable is None:
+            return None
+        return CheckpointRef(zone_id=self.my_zone.zone_id,
+                             sequence=stable.sequence,
+                             state_digest=stable.state_digest,
+                             snapshot=stable.snapshot or {})
+
+    def result_for(self, ballot: Ballot, client_id: str) -> Any:
+        """Execution result of one request within a committed ballot."""
+        results = self.executed_results.get(ballot)
+        if results is None:
+            return None
+        return results.get(client_id)
+
+    def _mark_stale_sources(self, batch: tuple[Signed, ...]) -> None:
+        for env in batch:
+            request = env.payload
+            self.seen_requests.add((request.sender, request.timestamp))
+            if request.operation and request.operation[0] == "migrate" and \
+                    request.source_zone == self.my_zone.zone_id:
+                self.node.locks.mark_stale(request.sender)
+
+    def _valid_batch(self, batch: tuple[Signed, ...]) -> bool:
+        for env in batch:
+            if not isinstance(env.payload, MigrationRequest):
+                return False
+            if not verify_signed(self.host.keys, env):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Client request intake and batching (initiator zone)
+    # ------------------------------------------------------------------
+    def _on_migration_request(self, sender: str, request: MigrationRequest,
+                              envelope: Signed) -> None:
+        key = (request.sender, request.timestamp)
+        done = self.request_dedup.get(key)
+        if done is not None:
+            result = self.result_for(done, request.sender)
+            if result is not None:
+                self._reply_to_client(request, result)
+            return
+        if not self._is_zone_primary():
+            self.host.forward(self.node.replica.primary, envelope)
+            self._watch_request(envelope)
+            return
+        request_digest = digest(request)
+        if request_digest in self._batch_buffer:
+            return
+        self._batch_buffer[request_digest] = envelope
+        if len(self._batch_buffer) >= self.config.global_batch_size:
+            self._flush_batch()
+        elif self._batch_timer is None:
+            self._batch_timer = self.host.set_timer(
+                self.config.global_batch_timeout_ms, self._on_batch_timeout)
+
+    def _on_batch_timeout(self) -> None:
+        self._batch_timer = None
+        if self._batch_buffer:
+            self._flush_batch()
+
+    def _flush_batch(self) -> None:
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        batch = tuple(self._batch_buffer.values())
+        self._batch_buffer.clear()
+        self.start_global_txn(batch)
+
+    def start_global_txn(self, batch, on_ready_to_commit=None) -> Ballot:
+        """Assign a ballot to a batch and launch the protocol (primary only).
+
+        ``on_ready_to_commit``, if given, is called with the transaction
+        state instead of entering the commit phase once a majority of
+        zones have accepted — the cross-cluster protocol uses this to wait
+        for the peer cluster's PREPARED message first.
+        """
+        if isinstance(batch, Signed):
+            batch = (batch,)
+        batch = tuple(batch)
+        self.highest_seen += 1
+        ballot = Ballot(seq=self.highest_seen, zone_id=self.my_zone.zone_id)
+        for env in batch:
+            request = env.payload
+            self.request_dedup[(request.sender, request.timestamp)] = ballot
+        txn = self._txn(ballot)
+        txn.batch = batch
+        txn.request_digest = batch_digest(batch)
+        if on_ready_to_commit is not None:
+            self.hold_commit[ballot] = on_ready_to_commit
+        if self.config.checkpoint_on_migration:
+            self.node.replica.checkpoints.generate(
+                self.node.replica.last_executed)
+        if self.config.stable_leader:
+            self._start_accept_phase(txn, promises=())
+        else:
+            self._start_propose_phase(txn)
+        return ballot
+
+    def _watch_request(self, envelope: Signed) -> None:
+        request_digest = digest(envelope.payload)
+        if request_digest in self._watched_requests:
+            return
+        timer = self.host.set_timer(self.config.watch_timeout_ms,
+                                    self._on_request_watch_expired,
+                                    request_digest, envelope.payload)
+        self._watched_requests[request_digest] = timer
+
+    def _on_request_watch_expired(self, request_digest: bytes,
+                                  request: MigrationRequest) -> None:
+        self._watched_requests.pop(request_digest, None)
+        key = (request.sender, request.timestamp)
+        if key in self.request_dedup or key in self.seen_requests:
+            return  # some ballot picked the request up
+        self.node.replica.view_changes.initiate(self.node.replica.view + 1)
+
+    # ------------------------------------------------------------------
+    # PROPOSE phase (initiator zone)
+    # ------------------------------------------------------------------
+    def _start_propose_phase(self, txn: GlobalTxnState) -> None:
+        txn.phase = "propose"
+        context = ProposeContext(ballot=txn.ballot, requests=txn.batch)
+        body = propose_body(txn.ballot, txn.request_digest)
+        self.node.endorsement.lead(
+            self._instance("propose", txn.ballot), context, body,
+            use_prepare=self._use_prepare(assigning_ballot=True),
+            on_cert=lambda cert, b=txn.ballot: self._send_propose(b, cert))
+
+    def _send_propose(self, ballot: Ballot, cert) -> None:
+        txn = self._txn(ballot)
+        propose = Propose(view=self.node.replica.view, ballot=ballot,
+                          requests=txn.batch, cert=cert,
+                          sender=self.node.node_id)
+        txn.phase = "promise-wait"
+        self.host.multicast_signed(self._other_zone_nodes(), propose)
+        self._arm_phase_timer(txn, "promise-wait")
+
+    def _validate_propose_ctx(self, instance: str, context: Any,
+                              endorse_digest: bytes) -> bool:
+        if not isinstance(context, ProposeContext):
+            return False
+        if not self._valid_batch(context.requests):
+            return False
+        if endorse_digest != propose_body(context.ballot,
+                                          batch_digest(context.requests)):
+            return False
+        if context.ballot.zone_id != self.my_zone.zone_id:
+            return False
+        if context.ballot.seq <= self.highest_seen - 1:
+            return False  # stale/duplicate sequence from the primary
+        self.highest_seen = max(self.highest_seen, context.ballot.seq)
+        txn = self._txn(context.ballot)
+        txn.batch = context.requests
+        txn.request_digest = batch_digest(context.requests)
+        return True
+
+    # ------------------------------------------------------------------
+    # PROMISE phase (follower zones)
+    # ------------------------------------------------------------------
+    def _on_propose(self, sender: str, propose: Propose,
+                    envelope: Signed) -> None:
+        body = propose_body(propose.ballot, batch_digest(propose.requests))
+        if not self.directory.cert_valid(propose.cert, body,
+                                         propose.ballot.zone_id):
+            return
+        if propose.ballot.seq <= self.highest_seen and \
+                propose.ballot not in self.txns:
+            return  # stale proposal; initiator will retry with a higher n
+        if not self._valid_batch(propose.requests):
+            return
+        self.highest_seen = max(self.highest_seen, propose.ballot.seq)
+        txn = self._txn(propose.ballot)
+        txn.batch = propose.requests
+        txn.request_digest = batch_digest(propose.requests)
+        self._mark_stale_sources(propose.requests)
+        if self.config.checkpoint_on_migration:
+            self.node.replica.checkpoints.generate(
+                self.node.replica.last_executed)
+        instance = self._instance("promise", propose.ballot)
+        if self._is_zone_primary():
+            context = PromiseContext(ballot=propose.ballot,
+                                     prev_ballot=self.last_accepted,
+                                     zone_id=self.my_zone.zone_id,
+                                     propose=propose)
+            body = promise_body(propose.ballot, self.last_accepted,
+                                self.my_zone.zone_id, txn.request_digest)
+            self.node.endorsement.lead(
+                instance, context, body,
+                use_prepare=self._use_prepare(assigning_ballot=False),
+                on_cert=lambda cert, b=propose.ballot,
+                prev=self.last_accepted: self._send_promise(b, prev, cert))
+        else:
+            self._watch_endorsement(txn, instance)
+
+    def _send_promise(self, ballot: Ballot, prev: Ballot, cert) -> None:
+        txn = self._txn(ballot)
+        promise = Promise(view=self.node.replica.view, ballot=ballot,
+                          prev_ballot=prev, zone_id=self.my_zone.zone_id,
+                          request_digest=txn.request_digest, cert=cert,
+                          sender=self.node.node_id)
+        txn.phase = "promised"
+        initiator_nodes = self.directory.zone(ballot.zone_id).members
+        self.host.multicast_signed(initiator_nodes, promise)
+
+    def _validate_promise_ctx(self, instance: str, context: Any,
+                              endorse_digest: bytes) -> bool:
+        if not isinstance(context, PromiseContext):
+            return False
+        if context.zone_id != self.my_zone.zone_id:
+            return False
+        propose = context.propose
+        body = propose_body(propose.ballot, batch_digest(propose.requests))
+        if not self.directory.cert_valid(propose.cert, body,
+                                         propose.ballot.zone_id):
+            return False
+        expected = promise_body(context.ballot, context.prev_ballot,
+                                context.zone_id,
+                                batch_digest(propose.requests))
+        if endorse_digest != expected:
+            return False
+        if context.prev_ballot >= context.ballot:
+            return False
+        self.highest_seen = max(self.highest_seen, context.ballot.seq)
+        txn = self._txn(context.ballot)
+        txn.batch = propose.requests
+        txn.request_digest = batch_digest(propose.requests)
+        self._mark_stale_sources(propose.requests)
+        return True
+
+    # ------------------------------------------------------------------
+    # ACCEPT phase (initiator zone)
+    # ------------------------------------------------------------------
+    def _on_promise(self, sender: str, promise: Promise,
+                    envelope: Signed) -> None:
+        if self.my_zone.zone_id != promise.ballot.zone_id:
+            return
+        body = promise_body(promise.ballot, promise.prev_ballot,
+                            promise.zone_id, promise.request_digest)
+        if not self.directory.cert_valid(promise.cert, body, promise.zone_id):
+            return
+        txn = self._txn(promise.ballot)
+        txn.promises[promise.zone_id] = envelope
+        if not self._is_zone_primary() or txn.phase != "promise-wait":
+            return
+        # +1: the initiator zone's own (certified) agreement counts.
+        if len(txn.promises) + 1 >= self.majority:
+            self._cancel_phase_timer(txn)
+            self._start_accept_phase(txn,
+                                     promises=tuple(txn.promises.values()))
+
+    def _start_accept_phase(self, txn: GlobalTxnState,
+                            promises: tuple[Signed, ...]) -> None:
+        prev = max([self.chain_tail, self.last_accepted]
+                   + [env.payload.prev_ballot for env in promises])
+        txn.prev_ballot = prev
+        txn.phase = "accept"
+        self.chain_tail = txn.ballot
+        self.last_accepted = max(self.last_accepted, txn.ballot)
+        context = AcceptContext(ballot=txn.ballot, prev_ballot=prev,
+                                requests=txn.batch, promises=promises)
+        body = accept_body(txn.ballot, prev, txn.request_digest)
+        assigning = self.config.stable_leader  # ballot first certified here
+        self.node.endorsement.lead(
+            self._instance("accept", txn.ballot), context, body,
+            use_prepare=self._use_prepare(assigning_ballot=assigning),
+            on_cert=lambda cert, b=txn.ballot: self._send_accept(b, cert))
+
+    def _send_accept(self, ballot: Ballot, cert) -> None:
+        txn = self._txn(ballot)
+        piggyback = txn.batch if self.config.stable_leader else ()
+        accept = Accept(view=self.node.replica.view, ballot=ballot,
+                        prev_ballot=txn.prev_ballot,
+                        request_digest=txn.request_digest, cert=cert,
+                        sender=self.node.node_id, requests=piggyback)
+        txn.phase = "accepted-wait"
+        txn.accept_env = Signed(accept, self.host.keys.sign(
+            self.node.node_id, digest(accept)))
+        self.host.multicast_signed(self._other_zone_nodes(), accept)
+        self._arm_phase_timer(txn, "accepted-wait")
+
+    def _validate_accept_ctx(self, instance: str, context: Any,
+                             endorse_digest: bytes) -> bool:
+        if not isinstance(context, AcceptContext):
+            return False
+        if context.ballot.zone_id != self.my_zone.zone_id:
+            return False
+        if not self._valid_batch(context.requests):
+            return False
+        request_digest = batch_digest(context.requests)
+        if endorse_digest != accept_body(context.ballot, context.prev_ballot,
+                                         request_digest):
+            return False
+        if not self.config.stable_leader:
+            # Check the majority of promises the primary claims to have.
+            zones = set()
+            for env in context.promises:
+                if not verify_signed(self.host.keys, env):
+                    continue
+                promise = env.payload
+                if promise.ballot != context.ballot:
+                    continue
+                body = promise_body(promise.ballot, promise.prev_ballot,
+                                    promise.zone_id, promise.request_digest)
+                if self.directory.cert_valid(promise.cert, body,
+                                             promise.zone_id):
+                    zones.add(promise.zone_id)
+            if len(zones) + 1 < self.majority:
+                return False
+        rival = self.accepted_seqs.get(context.ballot.seq)
+        if rival is not None and rival != context.ballot.zone_id:
+            return False  # Lemma 5.5 guard
+        self.accepted_seqs[context.ballot.seq] = context.ballot.zone_id
+        self.highest_seen = max(self.highest_seen, context.ballot.seq)
+        self.last_accepted = max(self.last_accepted, context.ballot)
+        txn = self._txn(context.ballot)
+        txn.batch = context.requests
+        txn.request_digest = request_digest
+        txn.prev_ballot = context.prev_ballot
+        self._mark_stale_sources(context.requests)
+        return True
+
+    # ------------------------------------------------------------------
+    # ACCEPTED phase (follower zones)
+    # ------------------------------------------------------------------
+    def _on_accept(self, sender: str, accept: Accept,
+                   envelope: Signed) -> None:
+        body = accept_body(accept.ballot, accept.prev_ballot,
+                           accept.request_digest)
+        if not self.directory.cert_valid(accept.cert, body,
+                                         accept.ballot.zone_id):
+            return
+        rival = self.accepted_seqs.get(accept.ballot.seq)
+        if rival is not None and rival != accept.ballot.zone_id:
+            return  # Lemma 5.5: never endorse two ballots at one sequence
+        txn = self._txn(accept.ballot)
+        if txn.phase in ("accepted", "committed") or txn.committed:
+            return
+        self.highest_seen = max(self.highest_seen, accept.ballot.seq)
+        txn.prev_ballot = accept.prev_ballot
+        txn.request_digest = accept.request_digest
+        if self.config.checkpoint_on_migration:
+            # §V-B: zones checkpoint whenever a migration reaches them
+            # (under the stable leader the ACCEPT is the first contact).
+            self.node.replica.checkpoints.generate(
+                self.node.replica.last_executed)
+        if accept.requests and not txn.batch:
+            if not self._valid_batch(accept.requests):
+                return
+            if batch_digest(accept.requests) != accept.request_digest:
+                return
+            txn.batch = accept.requests
+        self._mark_stale_sources(txn.batch)
+        instance = self._instance("accepted", accept.ballot)
+        if self._is_zone_primary():
+            context = AcceptedContext(ballot=accept.ballot,
+                                      prev_ballot=accept.prev_ballot,
+                                      zone_id=self.my_zone.zone_id,
+                                      accept=accept)
+            self.node.endorsement.lead(
+                instance, context,
+                accepted_body(accept.ballot, accept.prev_ballot,
+                              self.my_zone.zone_id, accept.request_digest),
+                use_prepare=self._use_prepare(assigning_ballot=False),
+                on_cert=lambda cert, b=accept.ballot: self._send_accepted(b, cert))
+        else:
+            self._watch_endorsement(txn, instance)
+
+    def _send_accepted(self, ballot: Ballot, cert) -> None:
+        txn = self._txn(ballot)
+        txn.phase = "accepted"
+        self.last_accepted = max(self.last_accepted, ballot)
+        self.accepted_seqs[ballot.seq] = ballot.zone_id
+        accepted = Accepted(view=self.node.replica.view, ballot=ballot,
+                            prev_ballot=txn.prev_ballot,
+                            zone_id=self.my_zone.zone_id,
+                            request_digest=txn.request_digest, cert=cert,
+                            checkpoint=self._my_checkpoint_ref(),
+                            sender=self.node.node_id)
+        initiator_nodes = self.directory.zone(ballot.zone_id).members
+        self.host.multicast_signed(initiator_nodes, accepted)
+        self._arm_commit_timer(txn)
+
+    def _validate_accepted_ctx(self, instance: str, context: Any,
+                               endorse_digest: bytes) -> bool:
+        if not isinstance(context, AcceptedContext):
+            return False
+        if context.zone_id != self.my_zone.zone_id:
+            return False
+        accept = context.accept
+        body = accept_body(accept.ballot, accept.prev_ballot,
+                           accept.request_digest)
+        if not self.directory.cert_valid(accept.cert, body,
+                                         accept.ballot.zone_id):
+            return False
+        expected = accepted_body(context.ballot, context.prev_ballot,
+                                 context.zone_id, accept.request_digest)
+        if endorse_digest != expected:
+            return False
+        rival = self.accepted_seqs.get(context.ballot.seq)
+        if rival is not None and rival != context.ballot.zone_id:
+            return False  # Lemma 5.5 guard
+        self.accepted_seqs[context.ballot.seq] = context.ballot.zone_id
+        self.highest_seen = max(self.highest_seen, context.ballot.seq)
+        self.last_accepted = max(self.last_accepted, context.ballot)
+        txn = self._txn(context.ballot)
+        txn.prev_ballot = context.prev_ballot
+        txn.request_digest = accept.request_digest
+        if accept.requests and not txn.batch and \
+                self._valid_batch(accept.requests) and \
+                batch_digest(accept.requests) == accept.request_digest:
+            txn.batch = accept.requests
+        self._mark_stale_sources(txn.batch)
+        self._arm_commit_timer(txn)
+        return True
+
+    # ------------------------------------------------------------------
+    # COMMIT phase (initiator zone)
+    # ------------------------------------------------------------------
+    def _on_accepted(self, sender: str, accepted: Accepted,
+                     envelope: Signed) -> None:
+        if self.my_zone.zone_id != accepted.ballot.zone_id:
+            return
+        body = accepted_body(accepted.ballot, accepted.prev_ballot,
+                             accepted.zone_id, accepted.request_digest)
+        if not self.directory.cert_valid(accepted.cert, body,
+                                         accepted.zone_id):
+            return
+        txn = self._txn(accepted.ballot)
+        txn.accepteds[accepted.zone_id] = envelope
+        if not self._is_zone_primary() or txn.phase != "accepted-wait":
+            return
+        if len(txn.accepteds) + 1 >= self.majority:
+            self._cancel_phase_timer(txn)
+            held = self.hold_commit.get(accepted.ballot)
+            if held is not None:
+                txn.phase = "held"
+                held(txn)
+            else:
+                self._start_commit_phase(txn)
+
+    def prepare_commit_cert(self, txn: GlobalTxnState, on_cert) -> None:
+        """Run the commit-phase endorsement but hand the certificate to
+        ``on_cert`` instead of broadcasting COMMIT (cross-cluster path)."""
+        context = CommitContext(ballot=txn.ballot, prev_ballot=txn.prev_ballot,
+                                requests=txn.batch,
+                                accepteds=tuple(txn.accepteds.values()))
+        body = commit_body(txn.ballot, txn.prev_ballot, txn.request_digest)
+        self.node.endorsement.lead(
+            self._instance("commit", txn.ballot), context, body,
+            use_prepare=self._use_prepare(assigning_ballot=False),
+            on_cert=on_cert)
+
+    def ingest_commit(self, commit: GlobalCommit) -> None:
+        """Accept a COMMIT delivered out-of-band (synthesised from a
+        cross-cluster CROSS-COMMIT); runs the normal validation path."""
+        envelope = Signed(commit, self.host.keys.sign(self.node.node_id,
+                                                      digest(commit)))
+        self._on_commit(commit.sender, commit, envelope)
+
+    def _start_commit_phase(self, txn: GlobalTxnState) -> None:
+        txn.phase = "commit"
+        self.prepare_commit_cert(
+            txn, on_cert=lambda cert, b=txn.ballot: self._send_commit(b, cert))
+
+    def _send_commit(self, ballot: Ballot, cert) -> None:
+        txn = self._txn(ballot)
+        checkpoints = []
+        for env in txn.accepteds.values():
+            ref = env.payload.checkpoint
+            if ref is not None:
+                checkpoints.append(ref)
+        own_ref = self._my_checkpoint_ref()
+        if own_ref is not None:
+            checkpoints.append(own_ref)
+        commit = GlobalCommit(view=self.node.replica.view, ballot=ballot,
+                              prev_ballot=txn.prev_ballot,
+                              requests=txn.batch, cert=cert,
+                              checkpoints=tuple(checkpoints),
+                              sender=self.node.node_id)
+        self.host.multicast_signed(self._all_nodes(), commit,
+                                   include_self=True)
+
+    def _validate_commit_ctx(self, instance: str, context: Any,
+                             endorse_digest: bytes) -> bool:
+        if not isinstance(context, CommitContext):
+            return False
+        if context.ballot.zone_id != self.my_zone.zone_id:
+            return False
+        if not self._valid_batch(context.requests):
+            return False
+        request_digest = batch_digest(context.requests)
+        if endorse_digest != commit_body(context.ballot, context.prev_ballot,
+                                         request_digest):
+            return False
+        zones = set()
+        for env in context.accepteds:
+            if not verify_signed(self.host.keys, env):
+                continue
+            accepted = env.payload
+            if accepted.ballot != context.ballot:
+                continue
+            body = accepted_body(accepted.ballot, accepted.prev_ballot,
+                                 accepted.zone_id, accepted.request_digest)
+            if self.directory.cert_valid(accepted.cert, body, accepted.zone_id):
+                zones.add(accepted.zone_id)
+        if len(zones) + 1 < self.majority:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # EXECUTION phase (every node)
+    # ------------------------------------------------------------------
+    def _on_commit(self, sender: str, commit: GlobalCommit,
+                   envelope: Signed) -> None:
+        request_digest = batch_digest(commit.requests)
+        body = commit_body(commit.ballot, commit.prev_ballot, request_digest)
+        if not self.directory.cert_valid(commit.cert, body,
+                                         commit.ballot.zone_id):
+            return
+        if not self._valid_batch(commit.requests):
+            return
+        txn = self._txn(commit.ballot)
+        if txn.committed:
+            return
+        txn.committed = True
+        txn.commit_env = envelope
+        txn.batch = commit.requests
+        txn.request_digest = request_digest
+        txn.prev_ballot = commit.prev_ballot
+        self._mark_stale_sources(commit.requests)
+        self.highest_seen = max(self.highest_seen, commit.ballot.seq)
+        self._cancel_commit_timer(txn)
+        self._commit_order.append(commit.ballot)
+        if len(self._commit_order) > self.config.commit_history:
+            stale = self._commit_order.pop(0)
+            old = self.txns.get(stale)
+            if old is not None and old.executed:
+                old.commit_env = None
+        for ref in commit.checkpoints:
+            self.node.store_remote_checkpoint(ref)
+        self._try_execute(commit.ballot)
+
+    def _try_execute(self, ballot: Ballot) -> None:
+        txn = self.txns.get(ballot)
+        if txn is None or not txn.committed or txn.executed:
+            return
+        prev = txn.prev_ballot
+        if prev != GENESIS_BALLOT and prev not in self.executed_results:
+            self.pending_commits.setdefault(prev, []).append(ballot)
+            if prev not in self.txns or not self.txns[prev].committed:
+                # We missed the predecessor entirely: ask its initiator zone.
+                self._query_zone(prev.zone_id or ballot.zone_id, prev,
+                                 "commit")
+            return
+        txn.executed = True
+        results: dict[str, Any] = {}
+        self.executed_results[ballot] = results
+        is_initiator = self.my_zone.zone_id == ballot.zone_id
+        for env in txn.batch:
+            request = env.payload
+            operation = request.operation
+            if operation and operation[0] == "migrate":
+                # The destination cluster of a cross-cluster migration
+                # cannot verify the source zone (regional meta-data); it
+                # adopts the source cluster's certified claim instead.
+                src_cluster = self.directory.cluster_of_zone(
+                    request.source_zone)
+                adopt = (src_cluster != self.directory.cluster_of_zone(
+                    request.dest_zone)
+                    and self.my_zone.cluster_id != src_cluster)
+                outcome = self.node.metadata.apply_migration(
+                    request.sender, request.source_zone, request.dest_zone,
+                    adopt_source=adopt)
+                results[request.sender] = outcome.as_result()
+                self.node.on_global_executed(ballot, request, outcome)
+                if is_initiator:
+                    result = ("sub1-committed",) + outcome.as_result() \
+                        if outcome.accepted else outcome.as_result()
+                    self._reply_to_client(request, result)
+            else:
+                # Generic globally-ordered operation on fully replicated
+                # data (how the Steward baseline processes *every* txn).
+                result = self.node.app.execute(operation, request.sender)
+                self.node.occupy(self.node.cost_model.execution_time(1))
+                results[request.sender] = result
+                if is_initiator:
+                    self._reply_to_client(request, result)
+            self.migrations_executed += 1
+        for waiting in self.pending_commits.pop(ballot, []):
+            self._try_execute(waiting)
+
+    def _reply_to_client(self, request: MigrationRequest, result: Any) -> None:
+        reply = ClientReply(view=self.node.replica.view,
+                            timestamp=request.timestamp,
+                            client_id=request.sender, result=result,
+                            sender=self.node.node_id)
+        self.host.send_signed(request.sender, reply)
+
+    # ------------------------------------------------------------------
+    # Timers / failure handling (paper §V-A)
+    # ------------------------------------------------------------------
+    def _watch_endorsement(self, txn: GlobalTxnState, instance: str) -> None:
+        if txn.watch_timer is not None:
+            return
+        txn.watch_timer = self.host.set_timer(
+            self.config.watch_timeout_ms, self._on_watch_expired,
+            txn.ballot, instance)
+
+    def _on_watch_expired(self, ballot: Ballot, instance: str) -> None:
+        txn = self.txns.get(ballot)
+        if txn is not None:
+            txn.watch_timer = None
+        if self.node.endorsement.has_instance(instance):
+            return
+        # Our primary never started the endorsement: suspect it.
+        self.node.replica.view_changes.initiate(self.node.replica.view + 1)
+
+    def _arm_commit_timer(self, txn: GlobalTxnState) -> None:
+        if txn.commit_timer is not None or txn.committed:
+            return
+        txn.commit_timer = self.host.set_timer(
+            self.config.commit_timeout_ms, self._on_commit_timeout, txn.ballot)
+
+    def _cancel_commit_timer(self, txn: GlobalTxnState) -> None:
+        if txn.commit_timer is not None:
+            txn.commit_timer.cancel()
+            txn.commit_timer = None
+
+    def _on_commit_timeout(self, ballot: Ballot) -> None:
+        txn = self.txns.get(ballot)
+        if txn is None or txn.committed:
+            return
+        txn.commit_timer = None
+        self._query_zone(ballot.zone_id, ballot, "commit")
+        self._arm_commit_timer(txn)
+
+    def _arm_phase_timer(self, txn: GlobalTxnState, phase: str) -> None:
+        self._cancel_phase_timer(txn)
+        jitter = self._rng.uniform(0.0, self.config.phase_timeout_ms / 2)
+        txn.phase_timer = self.host.set_timer(
+            self.config.phase_timeout_ms + jitter,
+            self._on_phase_timeout, txn.ballot, phase)
+
+    def _cancel_phase_timer(self, txn: GlobalTxnState) -> None:
+        if txn.phase_timer is not None:
+            txn.phase_timer.cancel()
+            txn.phase_timer = None
+
+    def _on_phase_timeout(self, ballot: Ballot, phase: str) -> None:
+        """Initiator-side stall/collision recovery.
+
+        With a stable leader there are no rival ballots, so the safe move
+        is to *retry the same ballot* (re-multicast the same certified
+        message — classic Paxos retransmission); this also preserves the
+        execution chain across partitions. In leaderless mode a timeout
+        usually means a rival ballot won at the followers, so the request
+        is re-proposed under a fresh, higher ballot (randomised back-off,
+        §V-C) and the chain tail is rolled back past the dead ballot.
+        """
+        txn = self.txns.get(ballot)
+        if txn is None or txn.committed or txn.phase != phase:
+            return
+        if not self._is_zone_primary():
+            return
+        if phase == "accepted-wait":
+            self._query_all_followers(txn, "accepted")
+        if self.config.stable_leader and phase == "accepted-wait" and \
+                txn.accept_env is not None:
+            self.host.multicast_signed(self._other_zone_nodes(),
+                                       txn.accept_env.payload)
+            self._arm_phase_timer(txn, phase)
+            return
+        for env in txn.batch:
+            request = env.payload
+            self.request_dedup.pop((request.sender, request.timestamp), None)
+        txn.phase = "superseded"
+        if self.chain_tail == txn.ballot and txn.prev_ballot is not None:
+            self.chain_tail = txn.prev_ballot
+        self.start_global_txn(txn.batch)
+
+    def _query_zone(self, zone_id: str, ballot: Ballot, phase: str) -> None:
+        if not zone_id:
+            return
+        query = ResponseQuery(view=self.node.replica.view, ballot=ballot,
+                              request_digest=b"", phase=phase,
+                              zone_id=self.my_zone.zone_id,
+                              sender=self.node.node_id)
+        self.host.multicast_signed(self.directory.zone(zone_id).members, query)
+
+    def _query_all_followers(self, txn: GlobalTxnState, phase: str) -> None:
+        query = ResponseQuery(view=self.node.replica.view, ballot=txn.ballot,
+                              request_digest=txn.request_digest or b"",
+                              phase=phase, zone_id=self.my_zone.zone_id,
+                              sender=self.node.node_id)
+        self.host.multicast_signed(self._other_zone_nodes(), query)
+
+    def _on_response_query(self, sender: str, query: ResponseQuery,
+                           envelope: Signed) -> None:
+        # §V-A: log every query; rate-limit senders that abuse the
+        # resend path as a denial-of-service amplification vector.
+        if not self.node.query_audit.record(sender, self.host.sim.now):
+            return
+        txn = self.txns.get(query.ballot)
+        if query.phase == "commit":
+            if txn is not None and txn.commit_env is not None:
+                self.host.forward(sender, txn.commit_env)
+                return
+        elif query.phase == "accepted":
+            if txn is not None and txn.phase in ("accepted", "committed"):
+                return  # our primary already answered; nothing to add
+        elif query.phase == "state":
+            self.node.migration.answer_state_query(sender, query)
+            return
+        # Log the query; 2f+1 distinct queriers from one zone (with no
+        # newer accepted ballot in between) point at our own primary.
+        if self.last_accepted > query.ballot:
+            return
+        key = (query.ballot, query.phase)
+        senders = self._query_log.setdefault(key, set())
+        senders.add(sender)
+        querier_zone = self.directory.zone_of(sender)
+        quorum = self.directory.zone(querier_zone).quorum
+        zone_senders = [s for s in senders
+                        if self.directory.zone_of(s) == querier_zone]
+        if len(zone_senders) >= quorum:
+            self._query_log.pop(key, None)
+            self.node.replica.view_changes.initiate(self.node.replica.view + 1)
+
+    # ------------------------------------------------------------------
+    # Local view change: the new primary re-drives in-flight transactions
+    # ------------------------------------------------------------------
+    def _on_local_view_change(self) -> None:
+        if not self._is_zone_primary():
+            return
+        for txn in list(self.txns.values()):
+            if txn.committed or not txn.batch:
+                continue
+            if txn.ballot.zone_id == self.my_zone.zone_id:
+                self._redrive_initiator(txn)
+            else:
+                self._redrive_follower(txn)
+
+    def _redrive_initiator(self, txn: GlobalTxnState) -> None:
+        if txn.phase in ("superseded",):
+            return
+        if txn.phase in ("start", "propose", "promise-wait") and \
+                not self.config.stable_leader:
+            self._start_propose_phase(txn)
+        elif txn.phase in ("start", "accept", "promise-wait"):
+            self._start_accept_phase(txn, promises=tuple(txn.promises.values()))
+        elif txn.phase == "accepted-wait":
+            self._send_accept_redrive(txn)
+        elif txn.phase == "commit":
+            self._start_commit_phase(txn)
+
+    def _send_accept_redrive(self, txn: GlobalTxnState) -> None:
+        if len(txn.accepteds) + 1 >= self.majority:
+            self._start_commit_phase(txn)
+        else:
+            self._start_accept_phase(txn, promises=tuple(txn.promises.values()))
+
+    def _redrive_follower(self, txn: GlobalTxnState) -> None:
+        # Re-run whichever follower endorsement the old primary dropped.
+        if txn.phase in ("accepted", "committed"):
+            return
+        accepted_instance = self._instance("accepted", txn.ballot)
+        state = self.node.endorsement.instance_state(accepted_instance)
+        if state is not None and state.payload is not None:
+            self.node.endorsement.lead(
+                accepted_instance, state.payload, state.endorse_digest,
+                use_prepare=self._use_prepare(False),
+                on_cert=lambda cert, b=txn.ballot: self._send_accepted(b, cert))
+            return
+        promise_instance = self._instance("promise", txn.ballot)
+        state = self.node.endorsement.instance_state(promise_instance)
+        if state is not None and state.payload is not None:
+            context = state.payload
+            self.node.endorsement.lead(
+                promise_instance, context, state.endorse_digest,
+                use_prepare=self._use_prepare(False),
+                on_cert=lambda cert, b=txn.ballot,
+                prev=context.prev_ballot: self._send_promise(b, prev, cert))

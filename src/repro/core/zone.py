@@ -1,0 +1,142 @@
+"""Zones, zone clusters, and the network directory.
+
+A *zone* is a Byzantine fault-tolerant group of ``3f+1`` edge nodes in one
+region; a *zone cluster* is a set of zones sharing regional system
+meta-data (paper §VI). The :class:`ZoneDirectory` is the static deployment
+map every node is configured with: zone membership, regions, and cluster
+assignment. It also centralises certificate validation against a zone's
+membership and quorum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.certificates import CertificateVerifier, QuorumCertificate
+from repro.crypto.keys import KeyRegistry
+from repro.crypto.threshold import ThresholdCertificate, ThresholdVerifier
+from repro.errors import ConfigurationError
+from repro.sim.latency import Region
+
+__all__ = ["ZoneInfo", "ZoneDirectory"]
+
+
+@dataclass(frozen=True)
+class ZoneInfo:
+    """Static description of one zone."""
+
+    zone_id: str
+    members: tuple[str, ...]
+    region: Region
+    f: int
+    cluster_id: str = "cluster-0"
+
+    def __post_init__(self) -> None:
+        if len(self.members) < 3 * self.f + 1:
+            raise ConfigurationError(
+                f"zone {self.zone_id} needs >= 3f+1 members "
+                f"(got {len(self.members)} for f={self.f})"
+            )
+
+    @property
+    def quorum(self) -> int:
+        """Intra-zone certificate quorum: 2f+1."""
+        return 2 * self.f + 1
+
+    def primary(self, view: int) -> str:
+        """Primary of this zone in local view ``view``."""
+        return self.members[view % len(self.members)]
+
+    def proxies(self, view: int) -> tuple[str, ...]:
+        """The f+1 proxy nodes for cross-cluster communication (§VI).
+
+        The primary is always a proxy; the next f nodes in rotation join it
+        so at least one proxy is correct.
+        """
+        size = len(self.members)
+        return tuple(self.members[(view + k) % size] for k in range(self.f + 1))
+
+
+class ZoneDirectory:
+    """Deployment-wide map of zones, clusters, and node placement."""
+
+    def __init__(self, keys: KeyRegistry) -> None:
+        self._zones: dict[str, ZoneInfo] = {}
+        self._node_zone: dict[str, str] = {}
+        self._clusters: dict[str, list[str]] = {}
+        self._cert_verifier = CertificateVerifier(keys)
+        self._threshold_verifier = ThresholdVerifier(keys)
+
+    def add_zone(self, zone: ZoneInfo) -> None:
+        """Register a zone and index its members."""
+        if zone.zone_id in self._zones:
+            raise ConfigurationError(f"duplicate zone id {zone.zone_id!r}")
+        self._zones[zone.zone_id] = zone
+        self._clusters.setdefault(zone.cluster_id, []).append(zone.zone_id)
+        for member in zone.members:
+            if member in self._node_zone:
+                raise ConfigurationError(
+                    f"node {member!r} already belongs to a zone")
+            self._node_zone[member] = zone.zone_id
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def zone_ids(self) -> list[str]:
+        """All zone ids, in registration order."""
+        return list(self._zones)
+
+    @property
+    def cluster_ids(self) -> list[str]:
+        """All cluster ids, in registration order."""
+        return list(self._clusters)
+
+    def zone(self, zone_id: str) -> ZoneInfo:
+        """Zone info by id."""
+        return self._zones[zone_id]
+
+    def zone_of(self, node_id: str) -> str:
+        """Zone id a node belongs to."""
+        return self._node_zone[node_id]
+
+    def cluster_zones(self, cluster_id: str) -> list[str]:
+        """Zone ids of one cluster."""
+        return list(self._clusters[cluster_id])
+
+    def cluster_of_zone(self, zone_id: str) -> str:
+        """Cluster id a zone belongs to."""
+        return self._zones[zone_id].cluster_id
+
+    def all_nodes(self) -> list[str]:
+        """Every zone member across the deployment."""
+        return [m for z in self._zones.values() for m in z.members]
+
+    def nodes_of_zones(self, zone_ids: list[str]) -> list[str]:
+        """Members of the given zones, flattened."""
+        return [m for zid in zone_ids for m in self._zones[zid].members]
+
+    def majority_quorum(self, zone_ids: list[str]) -> int:
+        """Majority-of-zones quorum used for global consensus."""
+        return len(zone_ids) // 2 + 1
+
+    # ------------------------------------------------------------------
+    # Certificate validation
+    # ------------------------------------------------------------------
+    def cert_valid(self, cert, expected_digest: bytes, zone_id: str) -> bool:
+        """Whether ``cert`` proves 2f+1 of ``zone_id`` signed the digest."""
+        zone = self._zones.get(zone_id)
+        if zone is None or cert is None:
+            return False
+        if cert.payload_digest != expected_digest:
+            return False
+        if isinstance(cert, QuorumCertificate):
+            return self._cert_verifier.is_valid(
+                cert, zone.quorum, frozenset(zone.members))
+        if isinstance(cert, ThresholdCertificate):
+            if cert.group != frozenset(zone.members):
+                return False
+            if cert.threshold < zone.quorum:
+                return False
+            return self._threshold_verifier.is_valid(cert)
+        return False

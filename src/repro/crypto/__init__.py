@@ -1,0 +1,25 @@
+"""Cryptographic substrate: digests, simulated signatures, certificates.
+
+See DESIGN.md §2 for why HMAC-based simulated signatures preserve the
+protocol-relevant properties (unforgeability across identities, certificate
+quorum semantics, verification cost accounting).
+"""
+
+from repro.crypto.certificates import CertificateVerifier, QuorumCertificate
+from repro.crypto.digest import canonical_bytes, digest, digest_hex
+from repro.crypto.keys import KeyRegistry, Signature
+from repro.crypto.threshold import (ThresholdCertificate, ThresholdVerifier,
+                                    combine_threshold)
+
+__all__ = [
+    "CertificateVerifier",
+    "KeyRegistry",
+    "QuorumCertificate",
+    "Signature",
+    "ThresholdCertificate",
+    "ThresholdVerifier",
+    "canonical_bytes",
+    "combine_threshold",
+    "digest",
+    "digest_hex",
+]

@@ -1,0 +1,54 @@
+"""Wire messages for every protocol in the reproduction."""
+
+from repro.messages.base import (Signed, nested_signature_units, sign_message,
+                                 verify_signed)
+from repro.messages.client import ClientReply, ClientRequest, MigrationRequest
+from repro.messages.cluster import CrossCommit, CrossPropose, Prepared
+from repro.messages.endorse import EndorsePrepare, EndorsePrePrepare, EndorseVote
+from repro.messages.migration import StateTransfer, state_body
+from repro.messages.pbft import (CheckpointMsg, Commit, NewView, Prepare,
+                                 PreparedProof, PrePrepare, ViewChange)
+from repro.messages.query import ResponseQuery
+from repro.messages.sync import (GENESIS_BALLOT, Accept, Accepted, Ballot,
+                                 CheckpointRef, GlobalCommit, Promise, Propose,
+                                 accept_body, accepted_body, commit_body,
+                                 promise_body, propose_body)
+
+__all__ = [
+    "Accept",
+    "Accepted",
+    "Ballot",
+    "CheckpointMsg",
+    "CheckpointRef",
+    "ClientReply",
+    "ClientRequest",
+    "Commit",
+    "CrossCommit",
+    "CrossPropose",
+    "EndorsePrePrepare",
+    "EndorsePrepare",
+    "EndorseVote",
+    "GENESIS_BALLOT",
+    "GlobalCommit",
+    "MigrationRequest",
+    "NewView",
+    "Prepare",
+    "Prepared",
+    "PreparedProof",
+    "PrePrepare",
+    "Promise",
+    "Propose",
+    "ResponseQuery",
+    "Signed",
+    "StateTransfer",
+    "ViewChange",
+    "accept_body",
+    "accepted_body",
+    "commit_body",
+    "nested_signature_units",
+    "promise_body",
+    "propose_body",
+    "sign_message",
+    "state_body",
+    "verify_signed",
+]

@@ -1,0 +1,50 @@
+"""Client-facing messages: requests, migration requests, replies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["ClientRequest", "MigrationRequest", "ClientReply"]
+
+
+@dataclass(frozen=True)
+class ClientRequest:
+    """A local transaction on the client's data in its current zone.
+
+    Attributes:
+        operation: application operation, e.g. ``("transfer", src, dst, amt)``.
+        timestamp: client-local, totally ordered per client; used for
+            exactly-once execution and replay protection.
+        sender: the client id (also the signer).
+    """
+
+    operation: tuple
+    timestamp: int
+    sender: str
+
+
+@dataclass(frozen=True)
+class MigrationRequest:
+    """MIG-REQUEST — a global transaction moving a client between zones.
+
+    Executing the embedded ``operation`` updates the global system meta-data
+    (client counts, migration counts) subject to network-wide policies.
+    """
+
+    operation: tuple
+    timestamp: int
+    sender: str
+    source_zone: str
+    dest_zone: str
+
+
+@dataclass(frozen=True)
+class ClientReply:
+    """REPLY from a node to a client; f+1 matching replies complete a txn."""
+
+    view: int
+    timestamp: int
+    client_id: str
+    result: Any
+    sender: str

@@ -1,0 +1,74 @@
+"""Cross-cluster data synchronization messages (paper §VI).
+
+When source and destination zones sit in different zone clusters, each
+cluster orders the transaction independently on its own regional meta-data
+(so each side carries its *own* ballot and predecessor). The clusters touch
+only at the first and last steps: ``f+1`` proxy nodes of the destination
+zone send CROSS-PROPOSE to the source zone; after the source cluster
+finishes its accepted phase its proxies send PREPARED back; the destination
+primary then emits a combined CROSS-COMMIT carrying both ballots and both
+commit certificates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.certificates import QuorumCertificate
+from repro.messages.base import Signed
+from repro.messages.sync import Ballot
+
+__all__ = ["CrossPropose", "Prepared", "CrossCommit"]
+
+
+@dataclass(frozen=True)
+class CrossPropose:
+    """CROSS-PROPOSE from destination-zone proxies to the source zone.
+
+    ``cert`` is the destination zone's 2f+1 certificate over its
+    accept-phase body (ballot assignment for the destination cluster).
+    """
+
+    view: int
+    dst_ballot: Ballot
+    dst_prev_ballot: Ballot
+    request: Signed
+    cert: QuorumCertificate
+    sender: str
+
+
+@dataclass(frozen=True)
+class Prepared:
+    """PREPARED from source-zone proxies to the destination zone.
+
+    ``cert`` is the source zone's certificate over its commit-phase body
+    ``commit_body(src_ballot, src_prev_ballot, request_digest)``, proving
+    the source cluster ordered and accepted the transaction.
+    """
+
+    view: int
+    src_ballot: Ballot
+    src_prev_ballot: Ballot
+    request_digest: bytes
+    cert: QuorumCertificate
+    sender: str
+
+
+@dataclass(frozen=True)
+class CrossCommit:
+    """Combined COMMIT broadcast to every node of both clusters.
+
+    Each side validates and executes the half belonging to its own
+    cluster: (dst_ballot, dst_prev_ballot, cert_dst) in the destination
+    cluster, (src_ballot, src_prev_ballot, cert_src) in the source one.
+    """
+
+    view: int
+    dst_ballot: Ballot
+    dst_prev_ballot: Ballot
+    src_ballot: Ballot
+    src_prev_ballot: Ballot
+    request: Signed
+    cert_dst: QuorumCertificate
+    cert_src: QuorumCertificate
+    sender: str

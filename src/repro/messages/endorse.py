@@ -1,0 +1,67 @@
+"""Intra-zone endorsement round messages.
+
+Both Algorithm 1 (data synchronization) and Algorithm 2 (data migration)
+repeatedly run the same sub-protocol inside a zone: the primary pre-prepares
+a payload, nodes (optionally after a PBFT-style prepare round) multicast a
+vote signing the payload digest, and the primary aggregates ``2f+1`` votes
+into a certificate for the top level. These messages are that sub-protocol's
+wire format; the paper's local-propose / local-promise / local-accept /
+local-accepted / local-commit / local-state messages are all
+:class:`EndorseVote` instances distinguished by the ``instance`` id.
+
+Per §IV.B.1, the prepare round is only used when the zone itself assigns the
+ballot number (``use_prepare=True``); endorsements of an already-certified
+ballot skip it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.crypto.keys import Signature
+
+__all__ = ["EndorsePrePrepare", "EndorsePrepare", "EndorseVote"]
+
+
+@dataclass(frozen=True)
+class EndorsePrePrepare:
+    """Primary's pre-prepare for one endorsement instance.
+
+    ``payload`` carries the full context nodes need to validate what they
+    are endorsing (e.g. the top-level message body plus any piggybacked
+    promise/accepted messages). ``endorse_digest`` is the digest votes sign.
+    """
+
+    instance: str
+    view: int
+    payload: Any
+    endorse_digest: bytes
+    use_prepare: bool
+    sender: str
+
+
+@dataclass(frozen=True)
+class EndorsePrepare:
+    """PBFT-style prepare within an endorsement instance."""
+
+    instance: str
+    view: int
+    endorse_digest: bytes
+    sender: str
+
+
+@dataclass(frozen=True)
+class EndorseVote:
+    """A node's vote; 2f+1 of these form a quorum certificate.
+
+    ``share`` is the node's detached signature over ``endorse_digest``
+    itself (not over this message), so collected shares aggregate into a
+    certificate any third party can validate against the body digest.
+    """
+
+    instance: str
+    view: int
+    endorse_digest: bytes
+    share: Signature
+    sender: str

@@ -1,0 +1,40 @@
+"""Data migration protocol messages (Algorithm 2).
+
+After the data synchronization protocol commits a migration, the source
+zone certifies the client's state ``R(c)`` with ``2f+1`` signatures and
+ships it to the destination zone in a STATE message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.crypto.certificates import QuorumCertificate
+from repro.crypto.digest import digest
+from repro.messages.sync import Ballot
+
+__all__ = ["StateTransfer", "state_body"]
+
+
+def state_body(ballot: Ballot, client_id: str, records_digest: bytes) -> bytes:
+    """Digest certified by the source zone for a STATE message."""
+    return digest(("state", ballot, client_id, records_digest))
+
+
+@dataclass(frozen=True)
+class StateTransfer:
+    """STATE — the certified client records sent from source to destination.
+
+    ``records`` is excluded from this object's digest; integrity comes from
+    ``records_digest``, which the certificate covers and which receivers
+    recompute from ``records``.
+    """
+
+    view: int
+    ballot: Ballot
+    client_id: str
+    records: dict[str, Any] = field(compare=False, metadata={"digest": False})
+    records_digest: bytes = b""
+    cert: QuorumCertificate | None = None
+    sender: str = ""

@@ -1,0 +1,90 @@
+"""PBFT wire messages (normal case, checkpointing, view change).
+
+Requests are processed in *batches*: a pre-prepare carries a tuple of signed
+client requests and is identified by the batch digest, which is what
+prepare/commit votes reference. A batch of one reproduces textbook PBFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.base import Signed
+
+__all__ = [
+    "PrePrepare",
+    "Prepare",
+    "Commit",
+    "CheckpointMsg",
+    "PreparedProof",
+    "ViewChange",
+    "NewView",
+]
+
+
+@dataclass(frozen=True)
+class PrePrepare:
+    """Primary's ordering proposal for a batch at (view, sequence)."""
+
+    view: int
+    sequence: int
+    batch_digest: bytes
+    batch: tuple[Signed, ...]
+    sender: str
+
+
+@dataclass(frozen=True)
+class Prepare:
+    """Backup's agreement with the pre-prepare at (view, sequence)."""
+
+    view: int
+    sequence: int
+    batch_digest: bytes
+    sender: str
+
+
+@dataclass(frozen=True)
+class Commit:
+    """Commit vote; 2f+1 matching commits make the batch committed-local."""
+
+    view: int
+    sequence: int
+    batch_digest: bytes
+    sender: str
+
+
+@dataclass(frozen=True)
+class CheckpointMsg:
+    """Vote that the replica reached ``state_digest`` after ``sequence``."""
+
+    sequence: int
+    state_digest: bytes
+    sender: str
+
+
+@dataclass(frozen=True)
+class PreparedProof:
+    """Evidence that a batch was prepared: pre-prepare + 2f prepares."""
+
+    pre_prepare: Signed
+    prepares: tuple[Signed, ...]
+
+
+@dataclass(frozen=True)
+class ViewChange:
+    """VIEW-CHANGE into ``new_view`` carrying prepared evidence."""
+
+    new_view: int
+    last_stable_sequence: int
+    prepared_proofs: tuple[PreparedProof, ...]
+    sender: str
+
+
+@dataclass(frozen=True)
+class NewView:
+    """NEW-VIEW from the new primary: 2f+1 view-changes + re-proposals."""
+
+    new_view: int
+    view_changes: tuple[Signed, ...]
+    pre_prepares: tuple[Signed, ...]
+    sender: str

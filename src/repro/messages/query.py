@@ -1,0 +1,31 @@
+"""Failure-handling messages (paper §V-A).
+
+RESPONSE-QUERY is multicast across zones when a node times out waiting for
+the next phase of a global transaction. Receivers that already processed
+the request re-send the corresponding response; 2f+1 queries from another
+zone make nodes suspect their own primary and trigger a view change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.messages.sync import Ballot
+
+__all__ = ["ResponseQuery"]
+
+
+@dataclass(frozen=True)
+class ResponseQuery:
+    """Query for the missing response of a global transaction phase.
+
+    ``phase`` names what the sender is waiting for (e.g. ``"commit"``,
+    ``"accepted"``, ``"state"``).
+    """
+
+    view: int
+    ballot: Ballot
+    request_digest: bytes
+    phase: str
+    zone_id: str
+    sender: str

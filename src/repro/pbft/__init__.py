@@ -1,0 +1,30 @@
+"""PBFT: the local consensus protocol of every zone (and the flat baseline)."""
+
+from repro.pbft.checkpointing import CheckpointManager
+from repro.pbft.client import CompletedRequest, PBFTClient
+from repro.pbft.faults import (Behavior, CorruptSignatureBehavior,
+                               CrashBehavior, EquivocatingBehavior,
+                               HonestBehavior, SilentBehavior, make_behavior)
+from repro.pbft.host import HostNode
+from repro.pbft.node import PBFTNode
+from repro.pbft.replica import PBFTConfig, PBFTReplica, Slot
+from repro.pbft.view_change import ViewChangeManager
+
+__all__ = [
+    "Behavior",
+    "CheckpointManager",
+    "CompletedRequest",
+    "CorruptSignatureBehavior",
+    "CrashBehavior",
+    "EquivocatingBehavior",
+    "HonestBehavior",
+    "HostNode",
+    "PBFTClient",
+    "PBFTConfig",
+    "PBFTNode",
+    "PBFTReplica",
+    "SilentBehavior",
+    "Slot",
+    "ViewChangeManager",
+    "make_behavior",
+]

@@ -1,0 +1,86 @@
+"""PBFT checkpointing.
+
+Every ``period`` executions a replica snapshots its application state,
+multicasts a CHECKPOINT vote, and a checkpoint becomes *stable* once 2f+1
+replicas vouch for the same (sequence, state digest). Stable checkpoints
+advance the water marks and garbage-collect consensus state; Ziziphus also
+ships them across zones for lazy synchronization (paper §V-B).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.messages.base import Signed
+from repro.messages.pbft import CheckpointMsg
+from repro.pbft.host import HostNode
+from repro.storage.checkpoint import Checkpoint, CheckpointStore
+
+__all__ = ["CheckpointManager"]
+
+
+class CheckpointManager:
+    """Generates checkpoints and tracks their stability for one group."""
+
+    def __init__(self, host: HostNode, group: tuple[str, ...], f: int,
+                 app: Any, period: int,
+                 on_stable: Callable[[int], None] | None = None) -> None:
+        self.host = host
+        self.group = group
+        self.others = tuple(n for n in group if n != host.node_id)
+        self.f = f
+        self.app = app
+        self.period = period
+        self.on_stable = on_stable
+        self.store = CheckpointStore(quorum=2 * f + 1)
+        self._announced_stable = 0
+
+    def register(self) -> None:
+        """Attach the CHECKPOINT handler to the host."""
+        self.host.register_handler(CheckpointMsg, self._on_checkpoint)
+
+    @property
+    def stable_sequence(self) -> int:
+        """Sequence of the latest stable checkpoint (0 if none)."""
+        stable = self.store.stable
+        return stable.sequence if stable is not None else 0
+
+    @property
+    def stable(self) -> Checkpoint | None:
+        """The latest stable checkpoint object, if any."""
+        return self.store.stable
+
+    def maybe_checkpoint(self, executed_sequence: int) -> None:
+        """Generate and vote a checkpoint if the period boundary was hit."""
+        if executed_sequence % self.period != 0:
+            return
+        self.generate(executed_sequence)
+
+    def generate(self, sequence: int) -> None:
+        """Snapshot state at ``sequence`` and multicast a checkpoint vote.
+
+        Ziziphus calls this out-of-period when a migration request arrives
+        (the paper's "checkpoint on migration" policy).
+        """
+        state_digest = self.app.state_digest()
+        self.store.record_local(Checkpoint(sequence=sequence,
+                                           state_digest=state_digest,
+                                           snapshot=self.app.snapshot()))
+        vote = CheckpointMsg(sequence=sequence, state_digest=state_digest,
+                             sender=self.host.node_id)
+        self.host.multicast_signed(self.others, vote)
+        self._record_vote(self.host.node_id, sequence, state_digest)
+
+    def _on_checkpoint(self, sender: str, msg: CheckpointMsg,
+                       envelope: Signed) -> None:
+        self._record_vote(sender, msg.sequence, msg.state_digest)
+
+    def _record_vote(self, voter: str, sequence: int,
+                     state_digest: bytes) -> None:
+        if voter not in self.group:
+            return
+        became_stable = self.store.vote(voter, sequence, state_digest)
+        if became_stable and sequence > self._announced_stable:
+            self._announced_stable = sequence
+            if self.on_stable is not None:
+                self.on_stable(sequence)

@@ -1,0 +1,140 @@
+"""PBFT client: submits signed requests and collects f+1 matching replies.
+
+Clients execute in a closed loop (one outstanding request each, as in the
+paper's evaluation). If no reply quorum arrives before the retransmission
+timeout, the client multicasts the request to *all* replicas, which relay
+it to the primary and, if the primary stays silent, eventually trigger a
+view change (paper §V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.messages.base import Signed, verify_signed
+from repro.messages.client import ClientReply, ClientRequest
+from repro.sim.events import Simulator
+from repro.sim.network import Network
+from repro.sim.process import CostModel, Process
+
+__all__ = ["PBFTClient", "CompletedRequest"]
+
+
+@dataclass
+class CompletedRequest:
+    """Record of one finished request (for metrics)."""
+
+    timestamp: int
+    operation: tuple
+    result: Any
+    started_at: float
+    completed_at: float
+    is_global: bool = False
+    labels: dict = field(default_factory=dict)
+
+    @property
+    def latency_ms(self) -> float:
+        """End-to-end latency in milliseconds."""
+        return self.completed_at - self.started_at
+
+
+class PBFTClient(Process):
+    """Closed-loop client of one PBFT group."""
+
+    def __init__(self, sim: Simulator, network: Network, keys: KeyRegistry,
+                 client_id: str, group: tuple[str, ...], f: int,
+                 retransmit_ms: float = 2_000.0,
+                 cost_model: CostModel | None = None) -> None:
+        super().__init__(sim, client_id, cost_model or CostModel(base_ms=0.0,
+                                                                 verify_ms=0.0))
+        self.network = network
+        self.keys = keys
+        self.group = tuple(group)
+        self.f = f
+        self.retransmit_ms = retransmit_ms
+        self.view_hint = 0
+        self.timestamp = 0
+        self.completed: list[CompletedRequest] = []
+        self.on_complete: Callable[[CompletedRequest], None] | None = None
+        self._outstanding: ClientRequest | None = None
+        self._started_at = 0.0
+        self._replies: dict[tuple[int, bytes], set[str]] = {}
+        self._retry_timer = None
+
+    @property
+    def reply_quorum(self) -> int:
+        """f+1 matching replies guarantee one correct replica executed."""
+        return self.f + 1
+
+    def primary_hint(self) -> str:
+        """Best guess of the current primary, from reply view numbers."""
+        return self.group[self.view_hint % len(self.group)]
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, operation: tuple) -> None:
+        """Send the next operation (closed loop: one at a time)."""
+        self.timestamp += 1
+        request = ClientRequest(operation=operation, timestamp=self.timestamp,
+                                sender=self.node_id)
+        self._outstanding = request
+        self._started_at = self.sim.now
+        self._replies.clear()
+        self._send(request, self.primary_hint())
+        self._arm_retry()
+
+    def _send(self, request: ClientRequest, dst: str) -> None:
+        envelope = Signed(request, self.keys.sign(self.node_id, digest(request)))
+        self.network.send(self.node_id, dst, envelope)
+
+    def _arm_retry(self) -> None:
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+        self._retry_timer = self.set_timer(self.retransmit_ms, self._on_retry)
+
+    def _on_retry(self) -> None:
+        request = self._outstanding
+        if request is None:
+            return
+        for node in self.group:
+            self._send(request, node)
+        self._arm_retry()
+
+    # ------------------------------------------------------------------
+    # Replies
+    # ------------------------------------------------------------------
+    def on_message(self, sender: str, message: Any) -> None:
+        if not isinstance(message, Signed):
+            return
+        if not isinstance(message.payload, ClientReply):
+            return
+        if not verify_signed(self.keys, message):
+            return
+        self._on_reply(message.payload)
+
+    def _on_reply(self, reply: ClientReply) -> None:
+        self.view_hint = max(self.view_hint, reply.view)
+        request = self._outstanding
+        if request is None or reply.timestamp != request.timestamp:
+            return
+        key = (reply.timestamp, digest(reply.result))
+        voters = self._replies.setdefault(key, set())
+        voters.add(reply.sender)
+        if len(voters) < self.reply_quorum:
+            return
+        self._outstanding = None
+        if self._retry_timer is not None:
+            self._retry_timer.cancel()
+            self._retry_timer = None
+        record = CompletedRequest(timestamp=request.timestamp,
+                                  operation=request.operation,
+                                  result=reply.result,
+                                  started_at=self._started_at,
+                                  completed_at=self.sim.now)
+        self.completed.append(record)
+        if self.on_complete is not None:
+            self.on_complete(record)

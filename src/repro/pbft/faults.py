@@ -1,0 +1,117 @@
+"""Byzantine behaviour injection.
+
+A node's outbound traffic passes through its :class:`Behavior`, which may
+drop, corrupt, or equivocate. The key modelling constraint (matching the
+paper's adversary): a Byzantine node can never produce a *valid* signature
+for another identity — forged envelopes carry garbage tags and fail
+verification at correct receivers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.messages.base import Signed
+
+__all__ = [
+    "Behavior",
+    "HonestBehavior",
+    "CrashBehavior",
+    "SilentBehavior",
+    "CorruptSignatureBehavior",
+    "EquivocatingBehavior",
+    "make_behavior",
+]
+
+
+class Behavior:
+    """Strategy controlling how a node emits messages."""
+
+    name = "honest"
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        """Produce the envelope actually sent to ``dst`` (None = drop)."""
+        raise NotImplementedError
+
+
+class HonestBehavior(Behavior):
+    """Signs and sends every message faithfully."""
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        return Signed(payload=payload, signature=keys.sign(signer, digest(payload)))
+
+
+class CrashBehavior(Behavior):
+    """Fail-stop: sends nothing (receive side is silenced by Process.crash)."""
+
+    name = "crash"
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        return None
+
+
+class SilentBehavior(Behavior):
+    """Byzantine-silent: stays up (receives, runs timers) but never sends.
+
+    Distinct from crash in that the node continues to consume messages,
+    modelling a malicious participant withholding its votes.
+    """
+
+    name = "silent"
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        return None
+
+
+class CorruptSignatureBehavior(Behavior):
+    """Sends every message with an invalid signature (forgery attempt)."""
+
+    name = "corrupt-signature"
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        return Signed(payload=payload, signature=keys.forged(signer))
+
+
+class EquivocatingBehavior(Behavior):
+    """Equivocates: mutates vote digests for half of the receivers.
+
+    Models a malicious primary/backup sending conflicting messages to
+    different replicas; payloads carrying a digest-bearing field are forked
+    into two inconsistent variants keyed by the receiver id.
+    """
+
+    name = "equivocate"
+
+    _FORKABLE_FIELDS = ("batch_digest", "endorse_digest", "request_digest")
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        # Deterministic split (Python's hash() is salted per process).
+        fork = sum(dst.encode()) % 2 == 0
+        if fork and dataclasses.is_dataclass(payload):
+            for field_name in self._FORKABLE_FIELDS:
+                if hasattr(payload, field_name):
+                    bogus = digest(("equivocation", signer, field_name))
+                    payload = dataclasses.replace(payload, **{field_name: bogus})
+                    break
+        return Signed(payload=payload, signature=keys.sign(signer, digest(payload)))
+
+
+_REGISTRY = {
+    cls.name: cls
+    for cls in (HonestBehavior, CrashBehavior, SilentBehavior,
+                CorruptSignatureBehavior, EquivocatingBehavior)
+}
+
+
+def make_behavior(name: str) -> Behavior:
+    """Instantiate a behaviour by name (``"honest"``, ``"silent"``, ...)."""
+    return _REGISTRY[name]()

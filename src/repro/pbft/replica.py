@@ -1,0 +1,457 @@
+"""PBFT replica state machine (normal case).
+
+Implements Castro-Liskov PBFT over the simulated network: request
+batching, pre-prepare/prepare/commit, in-order execution with per-client
+exactly-once semantics, checkpoint-based garbage collection (see
+:mod:`repro.pbft.checkpointing`), and view changes on primary failure (see
+:mod:`repro.pbft.view_change`).
+
+Ziziphus uses one replica group per zone for local transactions; the flat
+PBFT baseline uses a single group spanning all regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.crypto.digest import digest
+from repro.errors import ConfigurationError
+from repro.messages.base import Signed, verify_signed
+from repro.messages.client import ClientReply, ClientRequest
+from repro.messages.pbft import Commit, Prepare, PrePrepare
+from repro.pbft.checkpointing import CheckpointManager
+from repro.pbft.host import HostNode
+
+__all__ = ["PBFTConfig", "PBFTReplica", "Slot"]
+
+
+@dataclass
+class PBFTConfig:
+    """Tunables for one PBFT group."""
+
+    batch_size: int = 8
+    batch_timeout_ms: float = 2.0
+    request_timeout_ms: float = 600.0
+    view_change_timeout_ms: float = 1200.0
+    checkpoint_period: int = 128
+    water_mark_window: int = 1024
+
+
+@dataclass
+class Slot:
+    """Per-sequence consensus state."""
+
+    sequence: int
+    view: int
+    pre_prepare: Signed | None = None
+    batch_digest: bytes | None = None
+    batch: tuple[Signed, ...] = ()
+    prepare_senders: set[str] = field(default_factory=set)
+    prepare_envelopes: dict[str, Signed] = field(default_factory=dict)
+    commit_senders: set[str] = field(default_factory=set)
+    sent_prepare: bool = False
+    sent_commit: bool = False
+    committed: bool = False
+    executed: bool = False
+
+
+class PBFTReplica:
+    """One replica of a PBFT group, attached to a :class:`HostNode`.
+
+    Args:
+        host: the node this replica runs on.
+        group: ordered ids of all replicas in the group (defines primary
+            rotation: primary of view ``v`` is ``group[v % len(group)]``).
+        f: number of tolerated Byzantine replicas (``len(group) >= 3f+1``).
+        app: the replicated state machine.
+        config: protocol tunables.
+        reply_fn: optional override for delivering execution results
+            (default: send a :class:`ClientReply` to the request's sender).
+        accept_request: optional predicate vetoing requests (Ziziphus uses
+            it to reject transactions from clients whose lock is FALSE).
+    """
+
+    def __init__(self, host: HostNode, group: tuple[str, ...], f: int,
+                 app: Any, config: PBFTConfig | None = None,
+                 reply_fn: Callable[[Signed, Any], None] | None = None,
+                 accept_request: Callable[[ClientRequest], bool] | None = None,
+                 ) -> None:
+        if len(group) < 3 * f + 1:
+            raise ConfigurationError(
+                f"PBFT needs >= 3f+1 replicas (got {len(group)} for f={f})"
+            )
+        self.host = host
+        self.group = tuple(group)
+        self.others = tuple(n for n in group if n != host.node_id)
+        self.f = f
+        self.app = app
+        self.config = config or PBFTConfig()
+        self.reply_fn = reply_fn
+        self.accept_request = accept_request
+
+        self.view = 0
+        self.view_active = True
+        self.next_sequence = 0           # last assigned (primary)
+        self.last_executed = 0
+        self.slots: dict[int, Slot] = {}
+        self.pending: dict[bytes, Signed] = {}   # digest -> signed request
+        self.client_table: dict[str, tuple[int, Any]] = {}
+        self.request_timers: dict[bytes, Any] = {}
+        self._digest_sequence: dict[bytes, int] = {}
+        self._batch_timer = None
+        self._future: list[tuple[str, Any, Signed]] = []
+        #: Callbacks invoked after a new view activates (Ziziphus re-drives
+        #: in-flight global transactions from here).
+        self.on_view_change: list[Callable[[], None]] = []
+        self.executed_batches = 0
+        self.executed_requests = 0
+
+        self.checkpoints = CheckpointManager(
+            host=host, group=self.group, f=f, app=app,
+            period=self.config.checkpoint_period,
+            on_stable=self._on_stable_checkpoint,
+        )
+        # Imported here to avoid a circular import at module load time.
+        from repro.pbft.view_change import ViewChangeManager
+        self.view_changes = ViewChangeManager(self)
+
+        host.register_handler(ClientRequest, self._on_client_request)
+        host.register_handler(PrePrepare, self._on_pre_prepare)
+        host.register_handler(Prepare, self._on_prepare)
+        host.register_handler(Commit, self._on_commit)
+        self.checkpoints.register()
+        self.view_changes.register()
+
+    # ------------------------------------------------------------------
+    # Roles and quorums
+    # ------------------------------------------------------------------
+    def primary_of(self, view: int) -> str:
+        """Replica id acting as primary in ``view``."""
+        return self.group[view % len(self.group)]
+
+    @property
+    def primary(self) -> str:
+        """Current primary."""
+        return self.primary_of(self.view)
+
+    @property
+    def is_primary(self) -> bool:
+        """Whether this replica is the current primary."""
+        return self.primary == self.host.node_id
+
+    @property
+    def quorum(self) -> int:
+        """Certificate quorum: 2f+1."""
+        return 2 * self.f + 1
+
+    @property
+    def low_water_mark(self) -> int:
+        """Sequences at or below this are checkpointed and discarded."""
+        return self.checkpoints.stable_sequence
+
+    @property
+    def high_water_mark(self) -> int:
+        """Maximum sequence the primary may currently assign."""
+        return self.low_water_mark + self.config.water_mark_window
+
+    def _slot(self, sequence: int) -> Slot:
+        slot = self.slots.get(sequence)
+        if slot is None:
+            slot = Slot(sequence=sequence, view=self.view)
+            self.slots[sequence] = slot
+        return slot
+
+    # ------------------------------------------------------------------
+    # Client requests and batching
+    # ------------------------------------------------------------------
+    def _on_client_request(self, sender: str, request: ClientRequest,
+                           envelope: Signed) -> None:
+        self.submit_request(envelope)
+
+    def submit_request(self, envelope: Signed) -> None:
+        """Accept a signed client request (from the client or a relay)."""
+        request = envelope.payload
+        last = self.client_table.get(request.sender)
+        if last is not None and request.timestamp <= last[0]:
+            # Already executed: re-send the cached reply (at-most-once).
+            if request.timestamp == last[0]:
+                self._send_reply(envelope, last[1])
+            return
+        if self.accept_request is not None and not self.accept_request(request):
+            self._send_reply(envelope, ("rejected", "locked"))
+            return
+        request_digest = digest(request)
+        if request_digest in self.pending or request_digest in self._digest_sequence:
+            # Duplicate (e.g. a client retransmission): re-arm the liveness
+            # timer so a stalled primary is eventually suspected.
+            self._start_request_timer(request_digest)
+            return
+        self.pending[request_digest] = envelope
+        self._start_request_timer(request_digest)
+        if self.is_primary and self.view_active:
+            self._maybe_propose()
+        elif self.view_active:
+            # Relay the original client-signed envelope to the primary
+            # (re-signing would break the sender/signature binding); our
+            # timer guards the primary's liveness.
+            self.host.forward(self.primary, envelope)
+
+    def _start_request_timer(self, request_digest: bytes) -> None:
+        if request_digest in self.request_timers:
+            return
+        timer = self.host.set_timer(self.config.request_timeout_ms,
+                                    self._on_request_timeout, request_digest)
+        self.request_timers[request_digest] = timer
+
+    def _cancel_request_timer(self, request_digest: bytes) -> None:
+        timer = self.request_timers.pop(request_digest, None)
+        if timer is not None:
+            timer.cancel()
+
+    def _on_request_timeout(self, request_digest: bytes) -> None:
+        self.request_timers.pop(request_digest, None)
+        if request_digest in self.pending:
+            self.view_changes.initiate(self.view + 1)
+            return
+        sequence = self._digest_sequence.get(request_digest)
+        if sequence is None:
+            return
+        slot = self.slots.get(sequence)
+        if slot is not None and not slot.executed:
+            self.view_changes.initiate(self.view + 1)
+
+    def _maybe_propose(self, force: bool = False) -> None:
+        if not self.pending or not self.view_active or not self.is_primary:
+            return
+        full_batch = len(self.pending) >= self.config.batch_size
+        if not full_batch and not force:
+            if self._batch_timer is None:
+                self._batch_timer = self.host.set_timer(
+                    self.config.batch_timeout_ms, self._on_batch_timeout)
+            return
+        if self._batch_timer is not None:
+            self._batch_timer.cancel()
+            self._batch_timer = None
+        while self.pending:
+            if self.next_sequence + 1 > self.high_water_mark:
+                return  # wait for a checkpoint to advance the window
+            digests = list(self.pending)[: self.config.batch_size]
+            batch = tuple(self.pending.pop(d) for d in digests)
+            self.next_sequence += 1
+            self._send_pre_prepare(self.next_sequence, batch)
+            if len(self.pending) < self.config.batch_size and not force:
+                break
+
+    def _on_batch_timeout(self) -> None:
+        self._batch_timer = None
+        self._maybe_propose(force=True)
+
+    def _send_pre_prepare(self, sequence: int, batch: tuple[Signed, ...]) -> None:
+        batch_digest = digest(tuple(env.payload for env in batch))
+        pre_prepare = PrePrepare(view=self.view, sequence=sequence,
+                                 batch_digest=batch_digest, batch=batch,
+                                 sender=self.host.node_id)
+        slot = self._slot(sequence)
+        slot.view = self.view
+        slot.pre_prepare = Signed(pre_prepare,
+                                  self.host.keys.sign(self.host.node_id,
+                                                      digest(pre_prepare)))
+        slot.batch_digest = batch_digest
+        slot.batch = batch
+        for env in batch:
+            self._digest_sequence[digest(env.payload)] = sequence
+        self.host.multicast_signed(self.others, pre_prepare)
+        self._check_prepared(slot)
+
+    # ------------------------------------------------------------------
+    # Normal-case phases
+    # ------------------------------------------------------------------
+    def _on_pre_prepare(self, sender: str, pp: PrePrepare,
+                        envelope: Signed) -> None:
+        self.process_pre_prepare(sender, pp, envelope)
+
+    def process_pre_prepare(self, sender: str, pp: PrePrepare,
+                            envelope: Signed) -> None:
+        """Validate and adopt a pre-prepare (normal case or new-view)."""
+        if pp.view > self.view or (pp.view == self.view and not self.view_active):
+            self._defer(sender, pp, envelope)
+            return
+        if not self.view_active or pp.view != self.view:
+            return
+        if sender != self.primary_of(pp.view):
+            return
+        if not (self.low_water_mark < pp.sequence <= self.high_water_mark):
+            return
+        expected = digest(tuple(env.payload for env in pp.batch))
+        if expected != pp.batch_digest:
+            return
+        for req_env in pp.batch:
+            if not verify_signed(self.host.keys, req_env):
+                return
+        slot = self._slot(pp.sequence)
+        if slot.executed:
+            return
+        if slot.pre_prepare is not None and slot.view == pp.view:
+            if slot.batch_digest != pp.batch_digest:
+                return  # conflicting pre-prepare from an equivocating primary
+        if pp.view > slot.view:
+            # Re-proposal in a later view: earlier votes are void.
+            slot.prepare_senders.clear()
+            slot.prepare_envelopes.clear()
+            slot.commit_senders.clear()
+            slot.sent_prepare = False
+            slot.sent_commit = False
+            slot.committed = False
+        slot.view = pp.view
+        slot.pre_prepare = envelope
+        slot.batch_digest = pp.batch_digest
+        slot.batch = pp.batch
+        for req_env in pp.batch:
+            req_digest = digest(req_env.payload)
+            self.pending.pop(req_digest, None)
+            self._digest_sequence[req_digest] = pp.sequence
+            self._start_request_timer(req_digest)
+        if not slot.sent_prepare and not self.is_primary:
+            slot.sent_prepare = True
+            prepare = Prepare(view=pp.view, sequence=pp.sequence,
+                              batch_digest=pp.batch_digest,
+                              sender=self.host.node_id)
+            slot.prepare_senders.add(self.host.node_id)
+            self.host.multicast_signed(self.others, prepare)
+        self._check_prepared(slot)
+
+    def _on_prepare(self, sender: str, prepare: Prepare,
+                    envelope: Signed) -> None:
+        if prepare.view > self.view or (prepare.view == self.view
+                                        and not self.view_active):
+            self._defer(sender, prepare, envelope)
+            return
+        if prepare.view != self.view or not self.view_active:
+            return
+        if sender == self.primary_of(prepare.view):
+            return  # the primary's pre-prepare is its prepare
+        slot = self._slot(prepare.sequence)
+        if slot.batch_digest is not None and slot.batch_digest != prepare.batch_digest:
+            return
+        if slot.view != prepare.view and slot.pre_prepare is not None:
+            return
+        slot.prepare_senders.add(sender)
+        slot.prepare_envelopes[sender] = envelope
+        self._check_prepared(slot)
+
+    def is_prepared(self, slot: Slot) -> bool:
+        """Prepared predicate: pre-prepare plus 2f matching prepares."""
+        if slot.pre_prepare is None:
+            return False
+        voters = set(slot.prepare_senders)
+        voters.add(self.primary_of(slot.view))
+        return len(voters) >= self.quorum
+
+    def _check_prepared(self, slot: Slot) -> None:
+        if slot.sent_commit or not self.is_prepared(slot):
+            return
+        slot.sent_commit = True
+        commit = Commit(view=slot.view, sequence=slot.sequence,
+                        batch_digest=slot.batch_digest,
+                        sender=self.host.node_id)
+        slot.commit_senders.add(self.host.node_id)
+        self.host.multicast_signed(self.others, commit)
+        self._check_committed(slot)
+
+    def _on_commit(self, sender: str, commit: Commit,
+                   envelope: Signed) -> None:
+        if commit.view > self.view or (commit.view == self.view
+                                       and not self.view_active):
+            self._defer(sender, commit, envelope)
+            return
+        slot = self._slot(commit.sequence)
+        if slot.batch_digest is not None and slot.batch_digest != commit.batch_digest:
+            return
+        if slot.pre_prepare is not None and commit.view != slot.view:
+            return
+        slot.commit_senders.add(sender)
+        self._check_committed(slot)
+
+    def _check_committed(self, slot: Slot) -> None:
+        if slot.committed or not self.is_prepared(slot):
+            return
+        if len(slot.commit_senders) < self.quorum:
+            return
+        slot.committed = True
+        self._try_execute()
+
+    # ------------------------------------------------------------------
+    # Deferred messages (arrived before their view was activated)
+    # ------------------------------------------------------------------
+    def _defer(self, sender: str, payload: Any, envelope: Signed) -> None:
+        if len(self._future) < 4096:
+            self._future.append((sender, payload, envelope))
+
+    def replay_deferred(self) -> None:
+        """Re-dispatch messages buffered for the now-active view."""
+        ready, still_future = [], []
+        for item in self._future:
+            if item[1].view <= self.view:
+                ready.append(item)
+            else:
+                still_future.append(item)
+        self._future = still_future
+        for sender, payload, envelope in ready:
+            if isinstance(payload, PrePrepare):
+                self.process_pre_prepare(sender, payload, envelope)
+            elif isinstance(payload, Prepare):
+                self._on_prepare(sender, payload, envelope)
+            elif isinstance(payload, Commit):
+                self._on_commit(sender, payload, envelope)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _try_execute(self) -> None:
+        while True:
+            slot = self.slots.get(self.last_executed + 1)
+            if slot is None or not slot.committed or slot.executed:
+                return
+            slot.executed = True
+            self.last_executed = slot.sequence
+            self._execute_batch(slot)
+            self.checkpoints.maybe_checkpoint(self.last_executed)
+
+    def _execute_batch(self, slot: Slot) -> None:
+        self.executed_batches += 1
+        for req_env in slot.batch:
+            request = req_env.payload
+            result = self.app.execute(request.operation, request.sender)
+            self.executed_requests += 1
+            self.client_table[request.sender] = (request.timestamp, result)
+            self._cancel_request_timer(digest(request))
+            self._send_reply(req_env, result)
+        self.host.occupy(self.host.cost_model.execution_time(len(slot.batch)))
+
+    def _send_reply(self, req_env: Signed, result: Any) -> None:
+        request = req_env.payload
+        if self.reply_fn is not None:
+            self.reply_fn(req_env, result)
+            return
+        reply = ClientReply(view=self.view, timestamp=request.timestamp,
+                            client_id=request.sender, result=result,
+                            sender=self.host.node_id)
+        self.host.send_signed(request.sender, reply)
+
+    # ------------------------------------------------------------------
+    # Checkpoint / view-change plumbing
+    # ------------------------------------------------------------------
+    def _on_stable_checkpoint(self, sequence: int) -> None:
+        for seq in [s for s in self.slots if s <= sequence]:
+            del self.slots[seq]
+        for d in [d for d, s in self._digest_sequence.items() if s <= sequence]:
+            del self._digest_sequence[d]
+        if self.is_primary:
+            self.next_sequence = max(self.next_sequence, sequence)
+            self._maybe_propose()
+
+    def prepared_slots(self) -> list[Slot]:
+        """Slots above the stable checkpoint that reached prepared."""
+        return [s for s in self.slots.values()
+                if s.sequence > self.low_water_mark and self.is_prepared(s)]

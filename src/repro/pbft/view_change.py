@@ -1,0 +1,241 @@
+"""PBFT view change.
+
+When a request timer expires (the primary is not making progress) a replica
+moves to view ``v+1`` and multicasts VIEW-CHANGE carrying evidence of every
+batch it prepared above its stable checkpoint. The new primary assembles
+``2f+1`` view-changes into NEW-VIEW, re-proposing prepared batches (highest
+view wins per sequence) and filling gaps with no-op batches, after which
+normal operation resumes in the new view.
+
+Two standard refinements are included: the *weak certificate* rule (seeing
+``f+1`` view-changes for higher views makes a replica join the earliest of
+them, so one faulty timer cannot be required) and cascading timeouts (if
+NEW-VIEW does not arrive in time, move to ``v+2``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.crypto.digest import digest
+from repro.messages.base import Signed, verify_signed
+from repro.messages.pbft import NewView, PreparedProof, PrePrepare, ViewChange
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.pbft.replica import PBFTReplica
+
+__all__ = ["ViewChangeManager"]
+
+
+def _inner(payload):
+    """Unwrap namespaced envelopes (the two-level baseline wraps its
+    top-level PBFT traffic in a ``GlobalMsg`` carrier with an ``inner``
+    field); plain PBFT payloads pass through unchanged."""
+    return getattr(payload, "inner", payload)
+
+
+class ViewChangeManager:
+    """Owns the view-change state machine for one replica."""
+
+    def __init__(self, replica: "PBFTReplica") -> None:
+        self.replica = replica
+        self.host = replica.host
+        self._vc_messages: dict[int, dict[str, Signed]] = {}
+        self._timer = None
+        self._new_view_done: set[int] = set()
+        self._consecutive_failures = 0
+        self.view_changes_started = 0
+
+    def register(self) -> None:
+        """Attach VIEW-CHANGE / NEW-VIEW handlers to the host."""
+        self.host.register_handler(ViewChange, self._on_view_change)
+        self.host.register_handler(NewView, self._on_new_view)
+
+    # ------------------------------------------------------------------
+    # Initiation
+    # ------------------------------------------------------------------
+    def initiate(self, new_view: int) -> None:
+        """Move to ``new_view`` and broadcast VIEW-CHANGE evidence."""
+        replica = self.replica
+        # Jump forward to the highest view any replica is already asking
+        # for, so a node whose timer cascaded ahead is caught up quickly.
+        seen = [v for v, msgs in self._vc_messages.items() if msgs]
+        if seen:
+            new_view = max(new_view, max(seen))
+        if new_view <= replica.view and not replica.view_active:
+            return
+        if new_view <= replica.view:
+            new_view = replica.view + 1
+        self.view_changes_started += 1
+        replica.view = new_view
+        replica.view_active = False
+        proofs = tuple(self._proof_for(slot) for slot in replica.prepared_slots())
+        vc = ViewChange(new_view=new_view,
+                        last_stable_sequence=replica.low_water_mark,
+                        prepared_proofs=proofs,
+                        sender=self.host.node_id)
+        self.host.multicast_signed(replica.others, vc)
+        own = Signed(vc, self.host.keys.sign(self.host.node_id, digest(vc)))
+        self._record(self.host.node_id, vc, own)
+        self._restart_timer(new_view)
+
+    def _proof_for(self, slot) -> PreparedProof:
+        prepares = tuple(slot.prepare_envelopes.values())[: 2 * self.replica.f]
+        return PreparedProof(pre_prepare=slot.pre_prepare, prepares=prepares)
+
+    def _restart_timer(self, failed_view: int) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+        # Exponential backoff (PBFT §4.5.2): consecutive failed view
+        # changes wait longer, giving slower replicas time to join.
+        timeout = (self.replica.config.view_change_timeout_ms
+                   * (2 ** min(self._consecutive_failures, 6)))
+        self._timer = self.host.set_timer(timeout, self._on_timeout, failed_view)
+
+    def _on_timeout(self, failed_view: int) -> None:
+        replica = self.replica
+        if replica.view_active or replica.view > failed_view:
+            return
+        self._consecutive_failures += 1
+        self.initiate(failed_view + 1)
+
+    # ------------------------------------------------------------------
+    # VIEW-CHANGE handling
+    # ------------------------------------------------------------------
+    def _on_view_change(self, sender: str, vc: ViewChange,
+                        envelope: Signed) -> None:
+        if sender not in self.replica.group:
+            return
+        self._record(sender, vc, envelope)
+
+    def _record(self, sender: str, vc: ViewChange, envelope: Signed) -> None:
+        replica = self.replica
+        bucket = self._vc_messages.setdefault(vc.new_view, {})
+        bucket[sender] = envelope
+        # Weak certificate: f+1 replicas want a higher view -> join the
+        # smallest such view so a correct replica is never left behind.
+        if replica.view_active:
+            higher = {v for v, msgs in self._vc_messages.items()
+                      if v > replica.view and len(msgs) >= replica.f + 1}
+            if higher:
+                self.initiate(min(higher))
+                return
+        self._maybe_emit_new_view(vc.new_view)
+
+    def _maybe_emit_new_view(self, new_view: int) -> None:
+        replica = self.replica
+        if replica.primary_of(new_view) != self.host.node_id:
+            return
+        if new_view in self._new_view_done or new_view < replica.view:
+            return
+        bucket = self._vc_messages.get(new_view, {})
+        if len(bucket) < replica.quorum:
+            return
+        self._new_view_done.add(new_view)
+        view_changes = tuple(bucket.values())
+        pre_prepares = self._build_pre_prepares(new_view, view_changes)
+        nv = NewView(new_view=new_view, view_changes=view_changes,
+                     pre_prepares=pre_prepares, sender=self.host.node_id)
+        self.host.multicast_signed(replica.others, nv)
+        self._activate(new_view, pre_prepares)
+
+    def _build_pre_prepares(self, new_view: int,
+                            view_changes: tuple[Signed, ...]
+                            ) -> tuple[Signed, ...]:
+        replica = self.replica
+        min_s = max(_inner(env.payload).last_stable_sequence
+                    for env in view_changes)
+        best: dict[int, PreparedProof] = {}
+        for env in view_changes:
+            for proof in _inner(env.payload).prepared_proofs:
+                if not self._proof_valid(proof):
+                    continue
+                pp = _inner(proof.pre_prepare.payload)
+                if pp.sequence <= min_s:
+                    continue
+                current = best.get(pp.sequence)
+                if current is None or pp.view > _inner(current.pre_prepare.payload).view:
+                    best[pp.sequence] = proof
+        max_s = max(best) if best else min_s
+        pre_prepares = []
+        for sequence in range(min_s + 1, max_s + 1):
+            proof = best.get(sequence)
+            if proof is not None:
+                old = _inner(proof.pre_prepare.payload)
+                pp = PrePrepare(view=new_view, sequence=sequence,
+                                batch_digest=old.batch_digest, batch=old.batch,
+                                sender=self.host.node_id)
+            else:
+                pp = PrePrepare(view=new_view, sequence=sequence,
+                                batch_digest=digest(()), batch=(),
+                                sender=self.host.node_id)
+            pre_prepares.append(
+                Signed(pp, self.host.keys.sign(self.host.node_id, digest(pp))))
+        return tuple(pre_prepares)
+
+    def _proof_valid(self, proof: PreparedProof) -> bool:
+        replica = self.replica
+        if proof.pre_prepare is None:
+            return False
+        if not verify_signed(self.host.keys, proof.pre_prepare):
+            return False
+        pp = _inner(proof.pre_prepare.payload)
+        if pp.sender != replica.primary_of(pp.view):
+            return False
+        voters = {pp.sender}
+        for env in proof.prepares:
+            if not verify_signed(self.host.keys, env):
+                continue
+            prepare = _inner(env.payload)
+            if (prepare.view == pp.view and prepare.sequence == pp.sequence
+                    and prepare.batch_digest == pp.batch_digest
+                    and prepare.sender in replica.group):
+                voters.add(prepare.sender)
+        return len(voters) >= replica.quorum
+
+    # ------------------------------------------------------------------
+    # NEW-VIEW handling
+    # ------------------------------------------------------------------
+    def _on_new_view(self, sender: str, nv: NewView, envelope: Signed) -> None:
+        replica = self.replica
+        if sender != replica.primary_of(nv.new_view):
+            return
+        if nv.new_view < replica.view:
+            return
+        if nv.new_view == replica.view and replica.view_active:
+            return
+        valid_vcs = {_inner(env.payload).sender for env in nv.view_changes
+                     if verify_signed(self.host.keys, env)
+                     and _inner(env.payload).new_view == nv.new_view
+                     and _inner(env.payload).sender in replica.group}
+        if len(valid_vcs) < replica.quorum:
+            return
+        self._activate(nv.new_view, nv.pre_prepares)
+
+    def _activate(self, new_view: int, pre_prepares: tuple[Signed, ...]) -> None:
+        replica = self.replica
+        replica.view = new_view
+        replica.view_active = True
+        self._consecutive_failures = 0
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        max_seq = replica.low_water_mark
+        for env in pre_prepares:
+            pp = env.payload
+            max_seq = max(max_seq, pp.sequence)
+            replica.process_pre_prepare(pp.sender, pp, env)
+        if replica.is_primary:
+            replica.next_sequence = max(replica.next_sequence, max_seq)
+            replica._maybe_propose(force=True)
+        else:
+            # Hand any still-pending requests to the new primary and keep
+            # watching them (the new primary may be faulty too).
+            for request_digest, request_env in list(replica.pending.items()):
+                self.host.forward(replica.primary, request_env)
+                replica._start_request_timer(request_digest)
+        replica.replay_deferred()
+        for view in [v for v in self._vc_messages if v <= new_view]:
+            del self._vc_messages[view]
+        for callback in replica.on_view_change:
+            callback()

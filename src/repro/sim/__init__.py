@@ -1,0 +1,33 @@
+"""Discrete-event simulation substrate.
+
+Public surface:
+
+- :class:`Simulator` — deterministic event scheduler (time in ms).
+- :class:`Process` / :class:`CostModel` — node abstraction with a CPU
+  service-time queue.
+- :class:`Network` — latency-injecting message bus with fault injection.
+- :class:`LatencyModel`, :class:`Region` — the paper's seven-region WAN.
+- :func:`derive_rng` — reproducible child RNG streams.
+"""
+
+from repro.sim.events import EventHandle, Simulator
+from repro.sim.latency import (DEFAULT_REGION_CYCLE, LatencyModel, Region,
+                               regions_for_zones)
+from repro.sim.network import Network, NetworkStats
+from repro.sim.process import CostModel, Process
+from repro.sim.rng import derive_rng, derive_seed
+
+__all__ = [
+    "CostModel",
+    "DEFAULT_REGION_CYCLE",
+    "EventHandle",
+    "LatencyModel",
+    "Network",
+    "NetworkStats",
+    "Process",
+    "Region",
+    "Simulator",
+    "derive_rng",
+    "derive_seed",
+    "regions_for_zones",
+]

@@ -1,0 +1,150 @@
+"""Discrete-event simulator core.
+
+The whole reproduction runs on a deterministic discrete-event simulation
+(DES): every node, client, and network link is driven by callbacks scheduled
+on a single :class:`Simulator`. Simulated time is a float in *milliseconds*.
+
+Determinism is guaranteed by (a) a strictly ordered event heap that breaks
+time ties with a monotonically increasing sequence number, and (b) all
+randomness flowing through seeded generators (see :mod:`repro.sim.rng`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+__all__ = ["EventHandle", "Simulator"]
+
+
+class _Event:
+    """Heap payload; ordering lives in the enclosing (time, seq) tuple."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., None],
+                 args: tuple) -> None:
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+
+class EventHandle:
+    """Handle to a scheduled event; allows cancellation (e.g. timers)."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Simulated time at which the event fires."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called."""
+        return self._event.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing. Safe to call more than once."""
+        self._event.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event scheduler.
+
+    Example::
+
+        sim = Simulator()
+        sim.schedule(5.0, print, "fires at t=5ms")
+        sim.run()
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._seq = 0
+        # Heap of (time, seq, _Event); seq breaks ties so the tuple
+        # comparison never reaches the (incomparable) event object.
+        self._heap: list[tuple[float, int, _Event]] = []
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Total events executed so far (diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the heap (including cancelled ones)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        event = _Event(time, fn, args)
+        heapq.heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
+        return EventHandle(event)
+
+    def step(self) -> bool:
+        """Execute the next pending event. Returns False if none remain."""
+        while self._heap:
+            time, _, event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run events in order.
+
+        Args:
+            until: stop once the next event would fire after this time
+                (the clock is advanced to ``until``).
+            max_events: stop after executing this many events.
+
+        Returns:
+            The number of events executed by this call.
+        """
+        executed = 0
+        heap = self._heap
+        while heap:
+            if max_events is not None and executed >= max_events:
+                return executed
+            time, _, event = heap[0]
+            if event.cancelled:
+                heapq.heappop(heap)
+                continue
+            if until is not None and time > until:
+                self._now = until
+                return executed
+            heapq.heappop(heap)
+            self._now = time
+            self._events_processed += 1
+            event.fn(*event.args)
+            executed += 1
+        if until is not None and until > self._now:
+            self._now = until
+        return executed

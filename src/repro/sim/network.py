@@ -1,0 +1,157 @@
+"""Simulated wide-area message network.
+
+The network owns the mapping from node id to (:class:`Process`, region),
+computes per-message one-way latencies from the :class:`LatencyModel`, and
+applies fault-injection rules: crashed endpoints, network partitions, and
+probabilistic per-link drops. Delivery order between a pair of nodes is not
+guaranteed (messages race, as in a real asynchronous network), but the whole
+schedule is deterministic for a fixed seed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.errors import ConfigurationError
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyModel, Region
+from repro.sim.process import Process
+from repro.sim.rng import derive_rng
+
+__all__ = ["Network", "NetworkStats"]
+
+
+@dataclass
+class NetworkStats:
+    """Counters describing the traffic that crossed the network."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    wan_sent: int = 0
+    by_type: Counter = field(default_factory=Counter)
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the scalar counters as a plain dict."""
+        return {
+            "sent": self.sent,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "wan_sent": self.wan_sent,
+        }
+
+
+class Network:
+    """Latency-injecting message bus between registered processes."""
+
+    def __init__(self, sim: Simulator, latency: LatencyModel | None = None,
+                 seed: int = 0) -> None:
+        self.sim = sim
+        self.latency = latency or LatencyModel()
+        self._rng = derive_rng(seed, "network")
+        self._procs: dict[str, Process] = {}
+        self._regions: dict[str, Region] = {}
+        self._partition: list[frozenset[str]] | None = None
+        self._drop_rate: dict[tuple[str, str], float] = {}
+        self._disconnected: set[str] = set()
+        self.stats = NetworkStats()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def register(self, process: Process, region: Region) -> None:
+        """Attach a process to the network in the given region."""
+        if process.node_id in self._procs:
+            raise ConfigurationError(f"duplicate node id {process.node_id!r}")
+        self._procs[process.node_id] = process
+        self._regions[process.node_id] = region
+
+    def process(self, node_id: str) -> Process:
+        """Return the registered process for ``node_id``."""
+        return self._procs[node_id]
+
+    def region_of(self, node_id: str) -> Region:
+        """Return the region a node was registered in."""
+        return self._regions[node_id]
+
+    def move(self, node_id: str, region: Region) -> None:
+        """Relocate a node to another region (simulated client mobility)."""
+        if node_id not in self._procs:
+            raise ConfigurationError(f"unknown node {node_id!r}")
+        self._regions[node_id] = region
+
+    @property
+    def node_ids(self) -> list[str]:
+        """All registered node ids, in registration order."""
+        return list(self._procs)
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def set_partition(self, groups: Iterable[Iterable[str]] | None) -> None:
+        """Partition the network: messages across groups are dropped.
+
+        Pass ``None`` to heal the partition. Nodes not named in any group
+        are unreachable from every group.
+        """
+        if groups is None:
+            self._partition = None
+        else:
+            self._partition = [frozenset(g) for g in groups]
+
+    def set_drop_rate(self, src: str, dst: str, probability: float) -> None:
+        """Drop messages from ``src`` to ``dst`` with the given probability."""
+        if not 0.0 <= probability <= 1.0:
+            raise ConfigurationError("drop probability must be in [0, 1]")
+        self._drop_rate[(src, dst)] = probability
+
+    def disconnect(self, node_id: str) -> None:
+        """Drop all traffic to and from a node (models link failure)."""
+        self._disconnected.add(node_id)
+
+    def reconnect(self, node_id: str) -> None:
+        """Undo :meth:`disconnect`."""
+        self._disconnected.discard(node_id)
+
+    def _linked(self, src: str, dst: str) -> bool:
+        if src in self._disconnected or dst in self._disconnected:
+            return False
+        if self._partition is not None:
+            src_group = next((g for g in self._partition if src in g), None)
+            if src_group is None or dst not in src_group:
+                return False
+        rate = self._drop_rate.get((src, dst), 0.0)
+        if rate and self._rng.random() < rate:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Send ``message`` from ``src`` to ``dst`` with simulated latency."""
+        self.stats.sent += 1
+        self.stats.by_type[type(message).__name__] += 1
+        if dst not in self._procs:
+            self.stats.dropped += 1
+            return
+        if not self._linked(src, dst):
+            self.stats.dropped += 1
+            return
+        src_region = self._regions.get(src)
+        dst_region = self._regions[dst]
+        if src_region is None:
+            src_region = dst_region
+        if src_region != dst_region:
+            self.stats.wan_sent += 1
+        delay = self.latency.one_way_ms(src_region, dst_region, self._rng)
+        target = self._procs[dst]
+        self.stats.delivered += 1
+        self.sim.schedule(delay, target.deliver, src, message)
+
+    def multicast(self, src: str, dsts: Iterable[str], message: Any) -> None:
+        """Send ``message`` from ``src`` to every node in ``dsts``."""
+        for dst in dsts:
+            self.send(src, dst, message)

@@ -1,0 +1,73 @@
+"""Checkpoints: stable state snapshots.
+
+PBFT generates a checkpoint every ``period`` executions; a checkpoint
+becomes *stable* once ``2f+1`` replicas have vouched for the same state
+digest at the same sequence. Ziziphus additionally ships zones' stable
+checkpoints to other zones for lazy synchronization (paper §V-B), so a
+checkpoint may optionally carry the full state snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """A snapshot of replica state at a sequence number."""
+
+    sequence: int
+    state_digest: bytes
+    #: Optional full snapshot; excluded from the digest of this object so
+    #: that votes over (sequence, state_digest) match regardless of payload.
+    snapshot: dict[str, Any] | None = field(default=None, compare=False,
+                                            metadata={"digest": False})
+
+
+class CheckpointStore:
+    """Tracks checkpoint votes and the latest stable checkpoint."""
+
+    def __init__(self, quorum: int) -> None:
+        self._quorum = quorum
+        self._votes: dict[tuple[int, bytes], set[str]] = {}
+        self._stable: Checkpoint | None = None
+        self._local: dict[int, Checkpoint] = {}
+
+    @property
+    def stable(self) -> Checkpoint | None:
+        """The most recent stable checkpoint, if any."""
+        return self._stable
+
+    def record_local(self, checkpoint: Checkpoint) -> None:
+        """Remember a locally generated checkpoint (snapshot included)."""
+        self._local[checkpoint.sequence] = checkpoint
+
+    def local(self, sequence: int) -> Checkpoint | None:
+        """Return the locally generated checkpoint at ``sequence``."""
+        return self._local.get(sequence)
+
+    def vote(self, voter: str, sequence: int, state_digest: bytes) -> bool:
+        """Record a checkpoint vote; returns True when it becomes stable."""
+        if self._stable is not None and sequence <= self._stable.sequence:
+            return False
+        key = (sequence, state_digest)
+        voters = self._votes.setdefault(key, set())
+        voters.add(voter)
+        if len(voters) >= self._quorum:
+            local = self._local.get(sequence)
+            snapshot = local.snapshot if local is not None else None
+            self._stable = Checkpoint(sequence=sequence,
+                                      state_digest=state_digest,
+                                      snapshot=snapshot)
+            self._gc(sequence)
+            return True
+        return False
+
+    def _gc(self, stable_sequence: int) -> None:
+        for key in [k for k in self._votes if k[0] <= stable_sequence]:
+            del self._votes[key]
+        for seq in [s for s in self._local if s < stable_sequence]:
+            del self._local[seq]

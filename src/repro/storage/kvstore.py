@@ -1,0 +1,101 @@
+"""Versioned in-memory key-value store.
+
+Each node replicates its zone's client data in one of these stores (the
+paper's prototype uses a key-value store per node). Keys are strings;
+values are any canonically-encodable object. Every mutation bumps a global
+version counter, so state digests are cheap and deterministic, and whole
+key-prefix ranges can be exported/imported to support the data migration
+protocol (client records ``R(c)`` live under a per-client prefix).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.crypto.digest import digest
+from repro.errors import StorageError
+
+__all__ = ["KVStore"]
+
+
+class KVStore:
+    """A deterministic, versioned, in-memory KV store."""
+
+    def __init__(self) -> None:
+        self._data: dict[str, Any] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter incremented on every mutation."""
+        return self._version
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._data
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Return the value for ``key`` or ``default``."""
+        return self._data.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Return the value for ``key``; raise if absent."""
+        if key not in self._data:
+            raise StorageError(f"missing key {key!r}")
+        return self._data[key]
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert or overwrite ``key``."""
+        self._data[key] = value
+        self._version += 1
+
+    def delete(self, key: str) -> None:
+        """Remove ``key`` if present (idempotent)."""
+        if key in self._data:
+            del self._data[key]
+            self._version += 1
+
+    def keys(self) -> Iterator[str]:
+        """Iterate keys in sorted (deterministic) order."""
+        return iter(sorted(self._data))
+
+    # ------------------------------------------------------------------
+    # Prefix operations (client records R(c) live under a prefix)
+    # ------------------------------------------------------------------
+    def export_prefix(self, prefix: str) -> dict[str, Any]:
+        """Copy out every entry whose key starts with ``prefix``."""
+        return {k: v for k, v in self._data.items() if k.startswith(prefix)}
+
+    def import_records(self, records: dict[str, Any]) -> None:
+        """Bulk-insert records (used when appending a migrated state)."""
+        for key, value in records.items():
+            self._data[key] = value
+        if records:
+            self._version += 1
+
+    def delete_prefix(self, prefix: str) -> int:
+        """Delete every entry under ``prefix``; returns the count removed."""
+        doomed = [k for k in self._data if k.startswith(prefix)]
+        for key in doomed:
+            del self._data[key]
+        if doomed:
+            self._version += 1
+        return len(doomed)
+
+    # ------------------------------------------------------------------
+    # Snapshots and digests (checkpointing / lazy synchronization)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Return a shallow copy of the full state."""
+        return dict(self._data)
+
+    def restore(self, snapshot: dict[str, Any]) -> None:
+        """Replace the full state with ``snapshot``."""
+        self._data = dict(snapshot)
+        self._version += 1
+
+    def state_digest(self) -> bytes:
+        """Canonical digest of the full state (for checkpoint agreement)."""
+        return digest(self._data)

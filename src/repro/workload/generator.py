@@ -1,0 +1,97 @@
+"""Workload generation (the paper's banking workload, §VII).
+
+Each client runs a closed loop. On every step it draws:
+
+- with probability ``global_fraction`` — a *migration* to another zone
+  (and, when clusters exist, with probability ``cross_cluster_fraction``
+  the destination lies in a different cluster), matching the paper's
+  10/30/50% global workloads and ``.xG(.yC)`` cluster workloads;
+- otherwise — a *local* transaction: a money transfer to another client
+  currently hosted in the same zone (falling back to a deposit when the
+  client is alone in its zone).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["WorkloadMix", "WorkloadGenerator"]
+
+
+@dataclass(frozen=True)
+class WorkloadMix:
+    """Fractions defining a workload."""
+
+    global_fraction: float = 0.1
+    cross_cluster_fraction: float = 0.0
+    #: Fraction of *local* draws that become cross-zone transfers
+    #: (§IV.B.3) to a peer hosted by another zone.
+    cross_zone_fraction: float = 0.0
+    transfer_amount: int = 1
+
+    def label(self) -> str:
+        """Paper-style label, e.g. ``.1G(.5C)``."""
+        g = f".{int(round(self.global_fraction * 10))}G"
+        if self.cross_cluster_fraction:
+            return f"{g}(.{int(round(self.cross_cluster_fraction * 10))}C)"
+        return g
+
+
+class WorkloadGenerator:
+    """Draws the next action for each client, deterministically seeded."""
+
+    def __init__(self, mix: WorkloadMix, zone_ids: list[str],
+                 zone_of_client: dict[str, str], rng: random.Random,
+                 cluster_of_zone: dict[str, str] | None = None) -> None:
+        self.mix = mix
+        self.zone_ids = list(zone_ids)
+        #: Live view of where each client currently is; the driver updates
+        #: it as migrations complete.
+        self.zone_of_client = zone_of_client
+        self.rng = rng
+        self.cluster_of_zone = cluster_of_zone or {z: "cluster-0"
+                                                   for z in zone_ids}
+
+    def _peers_in_zone(self, client_id: str, zone_id: str) -> list[str]:
+        return [c for c, z in self.zone_of_client.items()
+                if z == zone_id and c != client_id]
+
+    def _pick_dest_zone(self, client_id: str) -> str:
+        current = self.zone_of_client[client_id]
+        current_cluster = self.cluster_of_zone[current]
+        clusters = set(self.cluster_of_zone.values())
+        want_cross = (len(clusters) > 1
+                      and self.rng.random() < self.mix.cross_cluster_fraction)
+        if want_cross:
+            candidates = [z for z in self.zone_ids
+                          if self.cluster_of_zone[z] != current_cluster]
+        else:
+            candidates = [z for z in self.zone_ids if z != current
+                          and self.cluster_of_zone[z] == current_cluster]
+        if not candidates:
+            candidates = [z for z in self.zone_ids if z != current]
+        return self.rng.choice(candidates)
+
+    def _peers_elsewhere(self, client_id: str, zone_id: str) -> list[str]:
+        return [c for c, z in self.zone_of_client.items()
+                if z != zone_id and c != client_id]
+
+    def next_action(self, client_id: str) -> tuple[str, object]:
+        """Return ``("local", op)``, ``("migrate", dest_zone)`` or
+        ``("xzone", (peer, peer_zone, amount))``."""
+        if len(self.zone_ids) > 1 and self.rng.random() < self.mix.global_fraction:
+            return ("migrate", self._pick_dest_zone(client_id))
+        zone = self.zone_of_client[client_id]
+        if self.mix.cross_zone_fraction and len(self.zone_ids) > 1 and \
+                self.rng.random() < self.mix.cross_zone_fraction:
+            strangers = self._peers_elsewhere(client_id, zone)
+            if strangers:
+                peer = self.rng.choice(strangers)
+                return ("xzone", (peer, self.zone_of_client[peer],
+                                  self.mix.transfer_amount))
+        peers = self._peers_in_zone(client_id, zone)
+        if peers:
+            peer = self.rng.choice(peers)
+            return ("local", ("transfer", peer, self.mix.transfer_amount))
+        return ("local", ("deposit", self.mix.transfer_amount))

@@ -1,0 +1,89 @@
+"""Workload traces: record and replay client action sequences.
+
+Useful for debugging (replay the exact action sequence that triggered a
+bug) and for apples-to-apples comparisons where two protocols should see
+the *identical* request stream rather than statistically equivalent ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workload.generator import WorkloadGenerator
+
+__all__ = ["TraceEntry", "WorkloadTrace", "RecordingGenerator",
+           "ReplayGenerator"]
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One client action: ``kind`` is ``"local"`` or ``"migrate"``."""
+
+    client_id: str
+    kind: str
+    argument: object
+
+
+class WorkloadTrace:
+    """An ordered list of client actions."""
+
+    def __init__(self) -> None:
+        self.entries: list[TraceEntry] = []
+
+    def append(self, entry: TraceEntry) -> None:
+        """Record one action."""
+        self.entries.append(entry)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def actions_of(self, client_id: str) -> list[TraceEntry]:
+        """All actions of one client, in issue order."""
+        return [e for e in self.entries if e.client_id == client_id]
+
+
+class RecordingGenerator:
+    """Wraps a generator, recording every drawn action into a trace."""
+
+    def __init__(self, inner: WorkloadGenerator, trace: WorkloadTrace) -> None:
+        self.inner = inner
+        self.trace = trace
+
+    @property
+    def zone_of_client(self):
+        """Pass-through to the wrapped generator's location map."""
+        return self.inner.zone_of_client
+
+    def next_action(self, client_id: str):
+        """Draw from the wrapped generator and record the result."""
+        kind, arg = self.inner.next_action(client_id)
+        self.trace.append(TraceEntry(client_id=client_id, kind=kind,
+                                     argument=arg))
+        return kind, arg
+
+
+class ReplayGenerator:
+    """Replays a recorded trace, one per-client cursor at a time."""
+
+    def __init__(self, trace: WorkloadTrace,
+                 zone_of_client: dict[str, str]) -> None:
+        self._per_client: dict[str, list[TraceEntry]] = {}
+        for entry in trace.entries:
+            self._per_client.setdefault(entry.client_id, []).append(entry)
+        self._cursor: dict[str, int] = {}
+        self.zone_of_client = zone_of_client
+
+    def remaining(self, client_id: str) -> int:
+        """Actions left for a client."""
+        total = len(self._per_client.get(client_id, []))
+        return total - self._cursor.get(client_id, 0)
+
+    def next_action(self, client_id: str):
+        """Next recorded action; falls back to a deposit when exhausted."""
+        entries = self._per_client.get(client_id, [])
+        index = self._cursor.get(client_id, 0)
+        if index >= len(entries):
+            return ("local", ("deposit", 1))
+        self._cursor[client_id] = index + 1
+        entry = entries[index]
+        return (entry.kind, entry.argument)

@@ -1,0 +1,70 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.deployment import ZiziphusConfig, build_ziziphus
+from repro.core.sync_protocol import SyncConfig
+from repro.pbft.replica import PBFTConfig
+
+
+def fast_pbft(**overrides) -> PBFTConfig:
+    """PBFT config tuned for fast, deterministic small tests."""
+    defaults = dict(batch_size=1, batch_timeout_ms=0.5,
+                    request_timeout_ms=150.0, view_change_timeout_ms=300.0,
+                    checkpoint_period=64, water_mark_window=512)
+    defaults.update(overrides)
+    return PBFTConfig(**defaults)
+
+
+def fast_sync(**overrides) -> SyncConfig:
+    """Sync config for tests: no batching delay, short failure timers."""
+    defaults = dict(stable_leader=True, global_batch_size=1,
+                    global_batch_timeout_ms=0.5, commit_timeout_ms=800.0,
+                    phase_timeout_ms=800.0, watch_timeout_ms=400.0,
+                    checkpoint_on_migration=False)
+    defaults.update(overrides)
+    return SyncConfig(**defaults)
+
+
+def small_ziziphus(num_zones: int = 3, f: int = 1, **config_overrides):
+    """A small Ziziphus deployment for integration tests."""
+    config = ZiziphusConfig(num_zones=num_zones, f=f, pbft=fast_pbft(),
+                            sync=fast_sync(), **config_overrides)
+    return build_ziziphus(config)
+
+
+def drive_to_completion(deployment, client, actions,
+                        step_ms: float = 40_000.0,
+                        max_steps: int = 20):
+    """Submit actions one-by-one (closed loop) and return the records.
+
+    ``actions`` are ``("local", op)`` / ("migrate", zone)`` pairs.
+    """
+    records = []
+    plan = list(actions)
+
+    def advance(record=None):
+        if record is not None:
+            records.append(record)
+        if len(records) < len(plan):
+            kind, arg = plan[len(records)]
+            if kind == "local":
+                client.submit_local(arg)
+            else:
+                client.submit_migration(arg)
+
+    client.on_complete = advance
+    deployment.sim.schedule(0.0, advance)
+    for _ in range(max_steps):
+        deployment.sim.run(until=deployment.sim.now + step_ms)
+        if len(records) >= len(plan):
+            break
+    return records
+
+
+@pytest.fixture
+def ziziphus3():
+    """Three-zone, f=1 deployment (the paper's smallest setup)."""
+    return small_ziziphus(num_zones=3, f=1)

@@ -1,0 +1,139 @@
+"""Unit and property tests for the replicated applications."""
+
+from hypothesis import given, strategies as st
+
+from repro.app.banking import BankingApp, client_prefix
+from repro.app.healthcare import HISTORY_LIMIT, HealthcareApp
+
+
+# ----------------------------------------------------------------------
+# Banking
+# ----------------------------------------------------------------------
+def funded(clients=("a", "b"), amount=100):
+    app = BankingApp()
+    for client in clients:
+        app.execute(("open", amount), client)
+    return app
+
+
+def test_open_deposit_transfer_balance():
+    app = funded()
+    assert app.execute(("deposit", 50), "a") == ("ok", 150)
+    assert app.execute(("transfer", "b", 30), "a") == ("ok", 120)
+    assert app.execute(("balance",), "b") == ("ok", 130)
+
+
+def test_open_is_idempotent():
+    app = funded()
+    assert app.execute(("open", 999), "a") == ("ok", 100)
+
+
+def test_transfer_error_cases():
+    app = funded()
+    assert app.execute(("transfer", "b", 101), "a") == \
+        ("err", "insufficient-funds")
+    assert app.execute(("transfer", "ghost", 1), "a") == \
+        ("err", "no-dst-account")
+    assert app.execute(("transfer", "b", -5), "a") == \
+        ("err", "negative-amount")
+    assert app.execute(("transfer", "b", 1), "ghost") == ("err", "no-account")
+    assert app.execute(("balance",), "ghost") == ("err", "no-account")
+    assert app.execute(("bogus",), "a") == ("err", "unknown-op")
+
+
+def test_export_import_evict_roundtrip():
+    app = funded()
+    app.execute(("deposit", 11), "a")
+    records = app.export_client("a")
+    assert records == {client_prefix("a") + "balance": 111}
+    app.evict_client("a")
+    assert not app.has_account("a")
+    other = BankingApp()
+    other.import_client("a", records)
+    assert other.balance_of("a") == 111
+
+
+def test_snapshot_restore_digest():
+    app = funded()
+    snap = app.snapshot()
+    state_digest = app.state_digest()
+    app.execute(("deposit", 1), "a")
+    assert app.state_digest() != state_digest
+    app.restore(snap)
+    assert app.state_digest() == state_digest
+
+
+@given(st.lists(st.tuples(st.sampled_from(["a", "b", "c"]),
+                          st.sampled_from(["a", "b", "c"]),
+                          st.integers(0, 50)), max_size=40))
+def test_property_transfers_conserve_money(transfers):
+    app = funded(clients=("a", "b", "c"), amount=100)
+    total = app.total_balance()
+    for src, dst, amount in transfers:
+        app.execute(("transfer", dst, amount), src)
+    assert app.total_balance() == total
+    assert all(app.balance_of(c) >= 0 for c in "abc")
+
+
+@given(st.lists(st.tuples(st.sampled_from(["deposit", "transfer"]),
+                          st.integers(0, 30)), max_size=30))
+def test_property_replicas_stay_identical(ops):
+    """Two app instances fed the same operations agree bit-for-bit."""
+    apps = [funded(), funded()]
+    for opcode, amount in ops:
+        op = ("deposit", amount) if opcode == "deposit" \
+            else ("transfer", "b", amount)
+        results = {repr(app.execute(op, "a")) for app in apps}
+        assert len(results) == 1
+    assert apps[0].state_digest() == apps[1].state_digest()
+
+
+# ----------------------------------------------------------------------
+# Healthcare
+# ----------------------------------------------------------------------
+def test_admission_and_readings():
+    app = HealthcareApp()
+    assert app.execute(("reading", "heart_rate", 80), "p1") == \
+        ("err", "not-admitted")
+    assert app.execute(("admit", 70), "p1") == ("ok", "admitted")
+    assert app.execute(("admit", 70), "p1") == ("ok", "already-admitted")
+    assert app.execute(("reading", "heart_rate", 80), "p1") == \
+        ("ok", "heart_rate", 80)
+
+
+def test_threshold_raises_alert():
+    app = HealthcareApp()
+    app.execute(("admit", 70), "p1")
+    result = app.execute(("reading", "heart_rate", 150), "p1")
+    assert result == ("alert", "heart_rate", 150)
+    assert app.alerts_raised == 1
+
+
+def test_history_bounded():
+    app = HealthcareApp()
+    app.execute(("admit", 70), "p1")
+    for value in range(HISTORY_LIMIT + 10):
+        app.execute(("reading", "glucose", value), "p1")
+    status, history = app.execute(("history", "glucose"), "p1")
+    assert status == "ok"
+    assert len(history) == HISTORY_LIMIT
+    assert history[-1] == HISTORY_LIMIT + 9
+
+
+def test_prescriptions_accumulate():
+    app = HealthcareApp()
+    app.execute(("admit", 55), "p1")
+    assert app.execute(("prescribe", "metformin", 500), "p1") == ("ok", 1)
+    assert app.execute(("prescribe", "insulin", 10), "p1") == ("ok", 2)
+
+
+def test_patient_record_migrates():
+    app = HealthcareApp()
+    app.execute(("admit", 70), "p1")
+    app.execute(("reading", "glucose", 120), "p1")
+    records = app.export_client("p1")
+    destination = HealthcareApp()
+    destination.import_client("p1", records)
+    assert destination.has_patient("p1")
+    assert destination.execute(("history", "glucose"), "p1") == \
+        ("ok", (120,))

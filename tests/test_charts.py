@@ -1,0 +1,33 @@
+"""Tests for the ASCII chart renderer."""
+
+from repro.bench.charts import ascii_chart
+
+
+def test_chart_renders_axes_and_legend():
+    series = {"ziziphus": [(10, 100.0), (50, 500.0), (120, 900.0)],
+              "flat": [(10, 50.0), (50, 120.0), (120, 150.0)]}
+    text = ascii_chart(series, width=40, height=8, title="T",
+                       x_label="clients", y_label="tput")
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "* ziziphus" in text and "o flat" in text
+    assert "900" in text and "50" in text          # y range labels
+    assert "10" in text and "120" in text          # x range labels
+    assert "clients" in text
+
+
+def test_chart_extremes_land_on_borders():
+    text = ascii_chart({"s": [(0, 0.0), (10, 10.0)]}, width=20, height=5)
+    rows = [line for line in text.splitlines() if "|" in line]
+    body = [line.split("|", 1)[1] for line in rows]
+    assert body[0].rstrip().endswith("*")     # max y at top-right
+    assert body[-1].lstrip().startswith("*")  # min y at bottom-left
+
+
+def test_empty_series_is_handled():
+    assert "(no data)" in ascii_chart({}, title="X")
+
+
+def test_flat_series_does_not_divide_by_zero():
+    text = ascii_chart({"s": [(1, 5.0), (2, 5.0)]})
+    assert "*" in text

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_point_command_prints_a_table(capsys):
+    code = main(["point", "--protocol", "ziziphus", "--zones", "3",
+                 "--clients", "3", "--warmup-ms", "100",
+                 "--measure-ms", "200"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "ziziphus" in out
+    assert "tput_tps" in out
+
+
+def test_point_with_failures(capsys):
+    code = main(["point", "--protocol", "ziziphus", "--clients", "3",
+                 "--failures-per-zone", "1", "--warmup-ms", "100",
+                 "--measure-ms", "200"])
+    assert code == 0
+    assert "ziziphus" in capsys.readouterr().out
+
+
+def test_point_with_clusters(capsys):
+    code = main(["point", "--zones", "4", "--clusters", "2",
+                 "--clients", "3", "--global-fraction", "0.3",
+                 "--cross-cluster-fraction", "0.5",
+                 "--warmup-ms", "100", "--measure-ms", "300"])
+    assert code == 0
+
+
+def test_analyze_assignment(capsys):
+    code = main(["analyze-assignment", "--zones", "3", "--zone-size", "4",
+                 "--byzantine", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "P[zone unsafe]" in out
+    assert "True" in out    # deterministic placement is safe
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["point", "--protocol", "bogus"])
+
+
+def test_figure_choices_are_validated():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["figure", "fig99"])

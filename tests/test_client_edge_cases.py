@@ -1,0 +1,74 @@
+"""Edge-case tests for the mobile client and reply handling."""
+
+from repro.crypto.digest import digest
+from repro.messages.base import Signed
+from repro.messages.client import ClientReply
+from repro.sim.process import Process
+from tests.conftest import drive_to_completion
+
+
+def reply_env(dep, sender, timestamp, result, client_id="c1"):
+    reply = ClientReply(view=0, timestamp=timestamp, client_id=client_id,
+                        result=result, sender=sender)
+    return Signed(reply, dep.keys.sign(sender, digest(reply)))
+
+
+def test_replies_from_unknown_senders_ignored(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    dep.sim.schedule(0.0, client.submit_local, ("deposit", 1))
+    dep.run(10)   # request in flight
+    # An outsider process that isn't a member of any zone.
+    dep.network.register(Process(dep.sim, "outsider"),
+                         dep.directory.zone("z0").region)
+    dep.network.send("outsider", "c1",
+                     reply_env(dep, "outsider", 1, ("ok", 999_999)))
+    dep.run(dep.sim.now + 30_000)
+    # The outsider's reply never counted toward the f+1 quorum.
+    assert client.completed[0].result == ("ok", 10_001)
+
+
+def test_single_forged_reply_cannot_complete_a_request(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z2")
+    dep.nodes["z2n0"].crash()   # slow path; gives the forger a window
+    dep.sim.schedule(0.0, client.submit_local, ("balance",))
+    dep.run(50.0)
+    assert client._outstanding is not None
+    # One (Byzantine) node replies with a lie; f+1 = 2 matching needed.
+    dep.network.send("z2n1", "c1",
+                     reply_env(dep, "z2n1", 1, ("ok", 0)))
+    dep.run(dep.sim.now + 20.0)
+    assert client._outstanding is not None, \
+        "one reply must not complete the request"
+    dep.run(dep.sim.now + 60_000)
+    assert client.completed and client.completed[0].result == ("ok", 10_000)
+
+
+def test_stale_timestamp_replies_ignored(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    records = drive_to_completion(dep, client, [("local", ("deposit", 1))])
+    assert records
+    # Late replies for an old timestamp arrive after completion: no crash,
+    # no double-complete.
+    for node in ("z0n0", "z0n1"):
+        dep.network.send(node, "c1", reply_env(dep, node, 1, ("ok", 1)))
+    dep.run(dep.sim.now + 5_000)
+    assert len(client.completed) == 1
+
+
+def test_mismatched_result_replies_do_not_mix(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z1")
+    dep.nodes["z1n0"].crash()
+    dep.sim.schedule(0.0, client.submit_local, ("deposit", 5))
+    dep.run(50.0)
+    # Two different forged results from two nodes: they must not combine
+    # into a quorum.
+    dep.network.send("z1n1", "c1", reply_env(dep, "z1n1", 1, ("ok", 111)))
+    dep.network.send("z1n2", "c1", reply_env(dep, "z1n2", 1, ("ok", 222)))
+    dep.run(dep.sim.now + 20.0)
+    assert client._outstanding is not None
+    dep.run(dep.sim.now + 90_000)
+    assert client.completed[0].result == ("ok", 10_005)

@@ -1,0 +1,116 @@
+"""Cross-cluster data synchronization tests (paper §VI)."""
+
+import pytest
+
+from repro.core.deployment import ZiziphusConfig, build_ziziphus
+from tests.conftest import drive_to_completion, fast_pbft, fast_sync
+
+
+def build_clustered(num_clusters=2, zones_per_cluster=2, stable_leader=True,
+                    **overrides):
+    config = ZiziphusConfig(
+        num_zones=num_clusters * zones_per_cluster,
+        num_clusters=num_clusters, zones_per_cluster=zones_per_cluster,
+        f=1, pbft=fast_pbft(),
+        sync=fast_sync(stable_leader=stable_leader,
+                       commit_timeout_ms=2_000.0, phase_timeout_ms=2_000.0),
+        **overrides)
+    return build_ziziphus(config)
+
+
+def test_topology_assigns_zones_to_clusters():
+    dep = build_clustered(num_clusters=3, zones_per_cluster=2)
+    directory = dep.directory
+    assert directory.cluster_ids == ["cluster-0", "cluster-1", "cluster-2"]
+    assert directory.cluster_zones("cluster-1") == ["z2", "z3"]
+    assert directory.cluster_of_zone("z5") == "cluster-2"
+    # Zones of one cluster share a region (paper §VII-D).
+    regions = {directory.zone(z).region
+               for z in directory.cluster_zones("cluster-0")}
+    assert len(regions) == 1
+
+
+def test_intra_cluster_migration_does_not_touch_other_clusters():
+    dep = build_clustered()
+    client = dep.add_client("c1", "z0")
+    records = drive_to_completion(dep, client, [("migrate", "z1")])
+    assert records[0].result == ("migrated", "ok", "z1")
+    # Cluster-1's meta-data never heard of the migration.
+    for node in dep.zone_nodes("z2") + dep.zone_nodes("z3"):
+        assert node.sync.migrations_executed == 0
+        assert "c1" not in node.metadata.migrations_per_client
+
+
+def test_cross_cluster_migration_end_to_end():
+    dep = build_clustered()
+    client = dep.add_client("c1", "z0")
+    records = drive_to_completion(dep, client, [
+        ("local", ("deposit", 9)),
+        ("migrate", "z2"),            # cluster-0 -> cluster-1
+        ("local", ("balance",)),
+    ])
+    assert records[1].result == ("migrated", "ok", "z2")
+    assert records[2].result == ("ok", 10_009)
+    assert client.current_zone == "z2"
+    for node in dep.zone_nodes("z2"):
+        assert node.locks.is_current("c1")
+        assert node.app.balance_of("c1") == 10_009
+    for node in dep.zone_nodes("z0"):
+        assert not node.locks.is_current("c1")
+
+
+def test_each_cluster_executes_on_its_own_regional_metadata():
+    dep = build_clustered()
+    client = dep.add_client("c1", "z0")
+    drive_to_completion(dep, client, [("migrate", "z2")])
+    # Both clusters executed their half of the cross-commit.
+    src_side = dep.nodes["z1n0"]      # cluster-0 follower zone
+    dst_side = dep.nodes["z3n0"]      # cluster-1 follower zone
+    assert src_side.sync.migrations_executed >= 1
+    assert dst_side.sync.migrations_executed >= 1
+    # A subsequent *intra*-cluster migration in cluster-1 must not be
+    # synchronized into cluster-0 (regional meta-data, §VI).
+    drive_to_completion(dep, client, [("migrate", "z3")])
+    assert dst_side.metadata.migrations_per_client["c1"] == 2
+    assert src_side.metadata.migrations_per_client["c1"] == 1
+    assert src_side.metadata.client_zone["c1"] == "z2"   # stale by design
+    # Meta-data agrees within each cluster.
+    for cluster in ("cluster-0", "cluster-1"):
+        digests = {dep.nodes[m].metadata.state_digest()
+                   for z in dep.directory.cluster_zones(cluster)
+                   for m in dep.directory.zone(z).members}
+        assert len(digests) == 1, f"{cluster} diverged"
+
+
+def test_cross_cluster_without_stable_leader():
+    dep = build_clustered(stable_leader=False)
+    client = dep.add_client("c1", "z1")
+    records = drive_to_completion(dep, client, [("migrate", "z3")],
+                                  step_ms=60_000, max_steps=30)
+    assert records[0].result == ("migrated", "ok", "z3")
+    for node in dep.zone_nodes("z3"):
+        assert node.app.balance_of("c1") == 10_000
+
+
+def test_round_trip_across_clusters():
+    dep = build_clustered()
+    client = dep.add_client("c1", "z0")
+    records = drive_to_completion(dep, client, [
+        ("migrate", "z2"),
+        ("local", ("deposit", 5)),
+        ("migrate", "z0"),
+        ("local", ("balance",)),
+    ], step_ms=60_000, max_steps=40)
+    assert records[-1].result == ("ok", 10_005)
+    assert client.current_zone == "z0"
+
+
+def test_proxies_are_f_plus_one_and_include_primary():
+    dep = build_clustered()
+    zone = dep.directory.zone("z0")
+    proxies = zone.proxies(view=0)
+    assert len(proxies) == zone.f + 1
+    assert zone.primary(0) in proxies
+    proxies_v1 = zone.proxies(view=1)
+    assert zone.primary(1) in proxies_v1
+    assert proxies != proxies_v1

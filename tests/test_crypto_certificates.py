@@ -1,0 +1,124 @@
+"""Unit tests for quorum certificates and threshold signatures."""
+
+import pytest
+
+from repro.crypto.certificates import CertificateVerifier, QuorumCertificate
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry, Signature
+from repro.crypto.threshold import (ThresholdCertificate, ThresholdVerifier,
+                                    combine_threshold)
+from repro.errors import InvalidCertificateError
+
+ZONE = tuple(f"n{i}" for i in range(4))
+GROUP = frozenset(ZONE)
+QUORUM = 3
+
+
+@pytest.fixture
+def keys():
+    return KeyRegistry(seed=7)
+
+
+def shares(keys, payload, signers=ZONE[:3]):
+    return [keys.sign(s, payload) for s in signers]
+
+
+def test_aggregate_collapses_duplicates(keys):
+    payload = digest("m")
+    sigs = shares(keys, payload) + shares(keys, payload, signers=("n0",))
+    cert = QuorumCertificate.aggregate(payload, sigs)
+    assert len(cert.signatures) == 3
+    assert cert.signers == {"n0", "n1", "n2"}
+
+
+def test_aggregate_order_insensitive(keys):
+    payload = digest("m")
+    sigs = shares(keys, payload)
+    assert QuorumCertificate.aggregate(payload, sigs) == \
+        QuorumCertificate.aggregate(payload, list(reversed(sigs)))
+
+
+def test_valid_certificate_passes(keys):
+    payload = digest("m")
+    cert = QuorumCertificate.aggregate(payload, shares(keys, payload))
+    CertificateVerifier(keys).validate(cert, QUORUM, GROUP)
+
+
+def test_below_quorum_rejected(keys):
+    payload = digest("m")
+    cert = QuorumCertificate.aggregate(payload, shares(keys, payload,
+                                                       signers=ZONE[:2]))
+    with pytest.raises(InvalidCertificateError):
+        CertificateVerifier(keys).validate(cert, QUORUM, GROUP)
+
+
+def test_invalid_signature_does_not_count(keys):
+    payload = digest("m")
+    sigs = shares(keys, payload, signers=ZONE[:2])
+    sigs.append(Signature(signer="n2", tag=b"\x00" * 32))
+    cert = QuorumCertificate.aggregate(payload, sigs)
+    verifier = CertificateVerifier(keys)
+    assert not verifier.is_valid(cert, QUORUM, GROUP)
+
+
+def test_outsider_signatures_do_not_count(keys):
+    payload = digest("m")
+    sigs = shares(keys, payload, signers=("n0", "n1", "outsider"))
+    cert = QuorumCertificate.aggregate(payload, sigs)
+    assert not CertificateVerifier(keys).is_valid(cert, QUORUM, GROUP)
+    # Without a membership restriction the same cert is accepted.
+    assert CertificateVerifier(keys).is_valid(cert, QUORUM, None)
+
+
+def test_signature_units_scale_with_size(keys):
+    payload = digest("m")
+    cert = QuorumCertificate.aggregate(payload, shares(keys, payload))
+    assert cert.signature_units() == 3
+
+
+# ----------------------------------------------------------------------
+# Threshold signatures
+# ----------------------------------------------------------------------
+def test_threshold_combine_and_verify(keys):
+    payload = digest("m")
+    cert = combine_threshold(keys, payload, shares(keys, payload),
+                             GROUP, QUORUM)
+    assert isinstance(cert, ThresholdCertificate)
+    assert cert.signature_units() == 1
+    ThresholdVerifier(keys).validate(cert)
+
+
+def test_threshold_combine_needs_quorum(keys):
+    payload = digest("m")
+    with pytest.raises(InvalidCertificateError):
+        combine_threshold(keys, payload, shares(keys, payload, ZONE[:2]),
+                          GROUP, QUORUM)
+
+
+def test_threshold_ignores_invalid_and_foreign_shares(keys):
+    payload = digest("m")
+    sigs = shares(keys, payload, ZONE[:2])
+    sigs.append(keys.sign("outsider", payload))       # not in group
+    sigs.append(Signature(signer="n2", tag=b"\x00" * 32))  # invalid
+    with pytest.raises(InvalidCertificateError):
+        combine_threshold(keys, payload, sigs, GROUP, QUORUM)
+
+
+def test_threshold_tampered_tag_rejected(keys):
+    payload = digest("m")
+    cert = combine_threshold(keys, payload, shares(keys, payload),
+                             GROUP, QUORUM)
+    tampered = ThresholdCertificate(payload_digest=cert.payload_digest,
+                                    group=cert.group,
+                                    threshold=cert.threshold,
+                                    tag=b"\x00" * 32)
+    assert not ThresholdVerifier(keys).is_valid(tampered)
+
+
+def test_threshold_bound_to_payload(keys):
+    cert = combine_threshold(keys, digest("m"), shares(keys, digest("m")),
+                             GROUP, QUORUM)
+    relabelled = ThresholdCertificate(payload_digest=digest("other"),
+                                      group=cert.group,
+                                      threshold=cert.threshold, tag=cert.tag)
+    assert not ThresholdVerifier(keys).is_valid(relabelled)

@@ -1,0 +1,58 @@
+"""Unit tests for the simulated signature scheme."""
+
+import pytest
+
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry, Signature
+from repro.errors import CryptoError
+
+
+@pytest.fixture
+def keys():
+    return KeyRegistry(seed=42)
+
+
+def test_sign_verify_roundtrip(keys):
+    payload = digest(("op", 1))
+    sig = keys.sign("node-1", payload)
+    assert keys.verify(sig, payload)
+
+
+def test_signature_bound_to_payload(keys):
+    sig = keys.sign("node-1", digest("a"))
+    assert not keys.verify(sig, digest("b"))
+
+
+def test_signature_bound_to_signer(keys):
+    payload = digest("a")
+    sig = keys.sign("node-1", payload)
+    imposter = Signature(signer="node-2", tag=sig.tag)
+    assert not keys.verify(imposter, payload)
+
+
+def test_forged_signature_fails(keys):
+    payload = digest("a")
+    forged = keys.forged("node-1")
+    assert not keys.verify(forged, payload)
+
+
+def test_different_seeds_produce_different_keys():
+    payload = digest("a")
+    sig = KeyRegistry(seed=1).sign("n", payload)
+    assert not KeyRegistry(seed=2).verify(sig, payload)
+
+
+def test_same_seed_is_deterministic():
+    payload = digest("a")
+    assert KeyRegistry(seed=9).sign("n", payload) == \
+        KeyRegistry(seed=9).sign("n", payload)
+
+
+def test_sign_requires_bytes(keys):
+    with pytest.raises(CryptoError):
+        keys.sign("n", "not-bytes")
+
+
+def test_signature_units():
+    sig = KeyRegistry(seed=0).sign("n", digest("x"))
+    assert sig.signature_units() == 1

@@ -1,0 +1,118 @@
+"""Tests for deployment construction, the zone directory, and clients."""
+
+import pytest
+
+from repro.core.deployment import ZiziphusConfig, build_ziziphus
+from repro.core.zone import ZoneDirectory, ZoneInfo
+from repro.crypto.keys import KeyRegistry
+from repro.errors import ConfigurationError
+from repro.sim.latency import Region
+from tests.conftest import drive_to_completion, small_ziziphus
+
+
+# ----------------------------------------------------------------------
+# Zone directory
+# ----------------------------------------------------------------------
+def test_zone_info_enforces_3f_plus_1():
+    with pytest.raises(ConfigurationError):
+        ZoneInfo(zone_id="z", members=("a", "b", "c"), f=1,
+                 region=Region.OHIO)
+
+
+def test_directory_lookups_and_quorums():
+    directory = ZoneDirectory(KeyRegistry(seed=1))
+    directory.add_zone(ZoneInfo("z0", ("a", "b", "c", "d"),
+                                Region.OHIO, f=1))
+    directory.add_zone(ZoneInfo("z1", ("e", "f", "g", "h"),
+                                Region.PARIS, f=1, cluster_id="cluster-1"))
+    assert directory.zone_of("f") == "z1"
+    assert directory.zone("z0").quorum == 3
+    assert directory.majority_quorum(["z0", "z1"]) == 2
+    assert directory.majority_quorum(["z0", "z1", "x"]) == 2
+    assert directory.nodes_of_zones(["z0"]) == ["a", "b", "c", "d"]
+    assert set(directory.all_nodes()) == set("abcdefgh")
+    with pytest.raises(ConfigurationError):
+        directory.add_zone(ZoneInfo("z0", ("x", "y", "w", "v"),
+                                    Region.OHIO, f=1))
+    with pytest.raises(ConfigurationError):
+        directory.add_zone(ZoneInfo("z9", ("a", "p", "q", "r"),
+                                    Region.OHIO, f=1))
+
+
+def test_primary_rotation():
+    zone = ZoneInfo("z", ("a", "b", "c", "d"), Region.OHIO, f=1)
+    assert zone.primary(0) == "a"
+    assert zone.primary(1) == "b"
+    assert zone.primary(4) == "a"
+
+
+# ----------------------------------------------------------------------
+# Deployment construction
+# ----------------------------------------------------------------------
+def test_single_cluster_region_placement():
+    dep = small_ziziphus(num_zones=3)
+    regions = [dep.directory.zone(z).region for z in dep.zone_ids]
+    assert regions == [Region.CALIFORNIA, Region.OHIO, Region.QUEBEC]
+    assert len(dep.nodes) == 12
+
+
+def test_zone_sizes_follow_f():
+    dep = small_ziziphus(num_zones=3, f=2)
+    assert all(len(dep.directory.zone(z).members) == 7
+               for z in dep.zone_ids)
+    assert len(dep.nodes) == 21
+
+
+def test_invalid_cluster_count_rejected():
+    with pytest.raises(ConfigurationError):
+        build_ziziphus(ZiziphusConfig(num_zones=3, num_clusters=0))
+
+
+def test_build_rejects_config_plus_overrides():
+    with pytest.raises(ConfigurationError):
+        build_ziziphus(ZiziphusConfig(), num_zones=5)
+
+
+def test_add_client_bootstraps_state(ziziphus3):
+    dep = ziziphus3
+    dep.add_client("c1", "z1")
+    for node in dep.zone_nodes("z1"):
+        assert node.locks.is_current("c1")
+        assert node.app.balance_of("c1") == 10_000
+    for node in dep.zone_nodes("z0"):
+        assert not node.locks.hosts("c1")
+        assert node.metadata.client_zone["c1"] == "z1"
+
+
+def test_primary_of_tracks_views(ziziphus3):
+    dep = ziziphus3
+    assert dep.primary_of("z0").node_id == "z0n0"
+    dep.nodes["z0n1"].replica.view = 1  # simulate a view change
+    assert dep.primary_of("z0").node_id == "z0n1"
+
+
+# ----------------------------------------------------------------------
+# Mobile client behaviour
+# ----------------------------------------------------------------------
+def test_client_moves_regions_on_migration(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    assert dep.network.region_of("c1") == Region.CALIFORNIA
+    drive_to_completion(dep, client, [("migrate", "z2")])
+    assert dep.network.region_of("c1") == Region.QUEBEC
+    # Local latency in the new zone is LAN-scale again.
+    records = drive_to_completion(dep, client, [("local", ("balance",))])
+    assert records[0].latency_ms < 10
+
+
+def test_client_tracks_zone_views_from_replies(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z1")
+    dep.nodes["z1n0"].crash()
+    records = drive_to_completion(dep, client, [("local", ("deposit", 1))],
+                                  step_ms=60_000)
+    assert records[0].result == ("ok", 10_001)
+    assert client.view_hints["z1"] >= 1
+    # The next request goes straight to the new primary (fast path).
+    records = drive_to_completion(dep, client, [("local", ("deposit", 1))])
+    assert records[0].latency_ms < 20

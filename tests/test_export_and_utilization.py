@@ -1,0 +1,65 @@
+"""Tests for CSV export and node utilization accounting."""
+
+from repro.bench.export import read_csv, result_record, write_csv
+from repro.bench.runner import PointSpec, run_point
+from repro.bench.metrics import Metrics
+from repro.bench.runner import PointResult
+from tests.conftest import drive_to_completion, small_ziziphus
+
+
+def _fake_result() -> PointResult:
+    spec = PointSpec(protocol="ziziphus", num_zones=3, clients_per_zone=10)
+    metrics = Metrics(completed=100, throughput_tps=1234.5,
+                      latency_mean_ms=12.345, latency_p50_ms=10,
+                      latency_p95_ms=20, latency_p99_ms=30,
+                      local_completed=90, global_completed=10,
+                      local_latency_ms=5.0, global_latency_ms=80.0)
+    return PointResult(spec=spec, metrics=metrics)
+
+
+def test_csv_roundtrip(tmp_path):
+    path = write_csv(tmp_path / "out.csv", [_fake_result()])
+    rows = read_csv(path)
+    assert len(rows) == 1
+    row = rows[0]
+    assert row["protocol"] == "ziziphus"
+    assert float(row["throughput_tps"]) == 1234.5
+    assert int(row["completed"]) == 100
+
+
+def test_record_covers_spec_and_metrics():
+    record = result_record(_fake_result())
+    assert record["num_zones"] == 3
+    assert record["global_latency_ms"] == 80.0
+    assert record["backup_failures_per_zone"] == 0
+
+
+def test_utilization_accounting(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    drive_to_completion(dep, client, [("local", ("deposit", 1))] * 5)
+    primary = dep.nodes["z0n0"]
+    idle = dep.nodes["z2n3"]
+    assert primary.cpu_time_ms > 0
+    assert 0.0 <= primary.utilization() <= 1.0
+    # The serving zone's primary did strictly more work than a node of an
+    # uninvolved zone.
+    assert primary.cpu_time_ms > idle.cpu_time_ms
+
+
+def test_stable_leader_zone_is_the_hot_spot():
+    """The deployment-level bottleneck claim behind Figure 4's saturation:
+    the stable-leader zone's primary carries the global protocol work on
+    top of its local load."""
+    from repro.bench.runner import _build, _mix
+    from repro.workload.driver import ClosedLoopDriver
+    spec = PointSpec(protocol="ziziphus", num_zones=3, clients_per_zone=15,
+                     global_fraction=0.3, warmup_ms=100, measure_ms=300)
+    dep = _build(spec)
+    driver = ClosedLoopDriver(dep, _mix(spec), clients_per_zone=15, seed=2)
+    driver.start()
+    dep.sim.run(until=400)
+    leader = dep.nodes["z0n0"]
+    other_primaries = [dep.nodes["z1n0"], dep.nodes["z2n0"]]
+    assert leader.utilization() > max(p.utilization()
+                                      for p in other_primaries)

@@ -1,0 +1,95 @@
+"""Unit tests for signed envelopes and signature-unit accounting."""
+
+import pytest
+
+from repro.crypto.certificates import QuorumCertificate
+from repro.crypto.digest import digest
+from repro.crypto.keys import KeyRegistry
+from repro.messages.base import (Signed, nested_signature_units, sign_message,
+                                 verify_signed)
+from repro.messages.client import ClientRequest, MigrationRequest
+from repro.messages.pbft import Prepare, PrePrepare
+from repro.messages.sync import (Ballot, GENESIS_BALLOT, Propose,
+                                 propose_body)
+
+
+@pytest.fixture
+def keys():
+    return KeyRegistry(seed=11)
+
+
+def signed_request(keys, client="c1", ts=1):
+    request = ClientRequest(operation=("deposit", 5), timestamp=ts,
+                            sender=client)
+    return sign_message(keys, client, request)
+
+
+def test_sign_and_verify(keys):
+    env = signed_request(keys)
+    assert verify_signed(keys, env)
+    assert env.sender == "c1"
+
+
+def test_sender_field_must_match_signer(keys):
+    request = ClientRequest(operation=("deposit", 5), timestamp=1,
+                            sender="c1")
+    env = sign_message(keys, "mallory", request)
+    assert not verify_signed(keys, env)
+
+
+def test_tampered_payload_fails(keys):
+    env = signed_request(keys)
+    tampered = Signed(payload=ClientRequest(operation=("deposit", 500),
+                                            timestamp=1, sender="c1"),
+                      signature=env.signature)
+    assert not verify_signed(keys, tampered)
+
+
+def test_simple_message_costs_one_unit(keys):
+    env = signed_request(keys)
+    assert env.signature_units() == 1
+    prepare = Prepare(view=0, sequence=1, batch_digest=b"d", sender="n0")
+    assert sign_message(keys, "n0", prepare).signature_units() == 1
+
+
+def test_batch_pre_prepare_counts_nested_requests(keys):
+    batch = tuple(signed_request(keys, client=f"c{i}", ts=1)
+                  for i in range(3))
+    pp = PrePrepare(view=0, sequence=1, batch_digest=b"d", batch=batch,
+                    sender="n0")
+    env = sign_message(keys, "n0", pp)
+    assert env.signature_units() == 1 + 3
+
+
+def test_certificate_units_counted(keys):
+    payload = digest("body")
+    cert = QuorumCertificate.aggregate(
+        payload, [keys.sign(f"n{i}", payload) for i in range(3)])
+    request = MigrationRequest(operation=("migrate", "c", "z0", "z1"),
+                               timestamp=1, sender="c",
+                               source_zone="z0", dest_zone="z1")
+    req_env = sign_message(keys, "c", request)
+    propose = Propose(view=0, ballot=Ballot(1, "z0"), requests=(req_env,),
+                      cert=cert, sender="n0")
+    env = sign_message(keys, "n0", propose)
+    # outer sig + 1 nested request + 3 cert signatures
+    assert env.signature_units() == 1 + 1 + 3
+
+
+def test_units_memoised_per_envelope(keys):
+    env = signed_request(keys)
+    assert env.signature_units() == env.signature_units()
+    assert nested_signature_units((env, env)) == 2
+
+
+def test_ballot_ordering():
+    assert Ballot(1, "z0") < Ballot(2, "z0")
+    assert Ballot(1, "z0") < Ballot(1, "z1")
+    assert GENESIS_BALLOT < Ballot(1, "z0")
+    assert max(Ballot(3, "a"), Ballot(2, "z")) == Ballot(3, "a")
+
+
+def test_body_helpers_are_stable():
+    ballot = Ballot(4, "z1")
+    assert propose_body(ballot, b"d") == propose_body(Ballot(4, "z1"), b"d")
+    assert propose_body(ballot, b"d") != propose_body(Ballot(5, "z1"), b"d")

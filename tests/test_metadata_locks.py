@@ -1,0 +1,139 @@
+"""Unit and property tests for global meta-data, policies, and locks."""
+
+from hypothesis import given, strategies as st
+
+from repro.core.locks import LockTable
+from repro.core.metadata import GlobalMetadata, PolicySet
+
+
+# ----------------------------------------------------------------------
+# Meta-data and policy enforcement
+# ----------------------------------------------------------------------
+def fresh(policies=None, clients=(("c1", "z0"), ("c2", "z1"))):
+    metadata = GlobalMetadata(policies)
+    for client, zone in clients:
+        metadata.register_client(client, zone)
+    return metadata
+
+
+def test_accepted_migration_updates_counts():
+    metadata = fresh()
+    outcome = metadata.apply_migration("c1", "z0", "z1")
+    assert outcome.accepted
+    assert metadata.client_zone["c1"] == "z1"
+    assert metadata.clients_per_zone["z0"] == 0
+    assert metadata.clients_per_zone["z1"] == 2
+    assert metadata.migrations_per_client["c1"] == 1
+
+
+def test_wrong_source_zone_rejected():
+    metadata = fresh()
+    outcome = metadata.apply_migration("c1", "z9", "z1")
+    assert not outcome.accepted
+    assert outcome.reason == "wrong-source-zone"
+    assert metadata.client_zone["c1"] == "z0"
+
+
+def test_same_zone_rejected():
+    metadata = fresh()
+    assert metadata.apply_migration("c1", "z0", "z0").reason == "same-zone"
+
+
+def test_migration_limit_policy():
+    metadata = fresh(PolicySet(max_migrations_per_client=2))
+    assert metadata.apply_migration("c1", "z0", "z1").accepted
+    assert metadata.apply_migration("c1", "z1", "z0").accepted
+    outcome = metadata.apply_migration("c1", "z0", "z1")
+    assert outcome.reason == "migration-limit"
+    assert metadata.rejected_migrations == 1
+
+
+def test_zone_capacity_policy():
+    metadata = fresh(PolicySet(max_clients_per_zone=2),
+                     clients=(("a", "z0"), ("b", "z1"), ("c", "z1")))
+    outcome = metadata.apply_migration("a", "z0", "z1")
+    assert outcome.reason == "zone-full"
+    assert metadata.client_zone["a"] == "z0"
+
+
+def test_rejection_has_no_side_effects():
+    metadata = fresh(PolicySet(max_migrations_per_client=0))
+    snapshot = metadata.snapshot()
+    metadata.apply_migration("c1", "z0", "z1")
+    assert metadata.snapshot() == snapshot
+
+
+def test_snapshot_restore_digest_roundtrip():
+    metadata = fresh()
+    metadata.apply_migration("c1", "z0", "z1")
+    snap = metadata.snapshot()
+    state_digest = metadata.state_digest()
+    other = GlobalMetadata()
+    other.restore(snap)
+    assert other.state_digest() == state_digest
+
+
+def test_result_shape_for_clients():
+    metadata = fresh()
+    assert metadata.apply_migration("c1", "z0", "z1").as_result() == \
+        ("migrated", "ok", "z1")
+    assert metadata.apply_migration("c1", "z0", "z1").as_result()[0] == \
+        "rejected"
+
+
+@given(st.lists(st.tuples(st.sampled_from(["c1", "c2", "c3"]),
+                          st.sampled_from(["z0", "z1", "z2"])),
+                max_size=25))
+def test_property_identical_sequences_converge(moves):
+    """Two replicas applying the same migration sequence stay identical —
+    the determinism the execution phase relies on."""
+    a = fresh(PolicySet(max_clients_per_zone=3, max_migrations_per_client=5),
+              clients=(("c1", "z0"), ("c2", "z1"), ("c3", "z2")))
+    b = fresh(PolicySet(max_clients_per_zone=3, max_migrations_per_client=5),
+              clients=(("c1", "z0"), ("c2", "z1"), ("c3", "z2")))
+    for client, dest in moves:
+        src_a = a.client_zone[client]
+        src_b = b.client_zone[client]
+        assert src_a == src_b
+        ra = a.apply_migration(client, src_a, dest)
+        rb = b.apply_migration(client, src_b, dest)
+        assert ra == rb
+    assert a.state_digest() == b.state_digest()
+
+
+@given(st.lists(st.tuples(st.sampled_from(["c1", "c2"]),
+                          st.sampled_from(["z0", "z1", "z2"])), max_size=20))
+def test_property_client_counts_stay_consistent(moves):
+    metadata = fresh(clients=(("c1", "z0"), ("c2", "z1")))
+    for client, dest in moves:
+        metadata.apply_migration(client, metadata.client_zone[client], dest)
+    # Invariant: per-zone counts always sum to the number of clients and
+    # match the authoritative client_zone map.
+    assert sum(metadata.clients_per_zone.values()) == 2
+    derived = {}
+    for client, zone in metadata.client_zone.items():
+        derived[zone] = derived.get(zone, 0) + 1
+    for zone, count in metadata.clients_per_zone.items():
+        assert derived.get(zone, 0) == count
+
+
+# ----------------------------------------------------------------------
+# Lock table
+# ----------------------------------------------------------------------
+def test_lock_lifecycle():
+    locks = LockTable()
+    assert not locks.is_current("c")       # unknown client
+    locks.register("c")
+    assert locks.is_current("c")
+    locks.mark_stale("c")
+    assert not locks.is_current("c")
+    assert locks.hosts("c")
+    locks.mark_current("c")
+    assert locks.is_current("c")
+
+
+def test_mark_stale_registers_unknown_clients():
+    locks = LockTable()
+    locks.mark_stale("ghost")
+    assert locks.hosts("ghost")
+    assert not locks.is_current("ghost")

@@ -1,0 +1,95 @@
+"""Integration tests for the data migration protocol (Algorithm 2)."""
+
+from tests.conftest import drive_to_completion, small_ziziphus
+
+
+def test_client_state_moves_to_destination(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    records = drive_to_completion(
+        dep, client, [("local", ("deposit", 123)), ("migrate", "z2")])
+    assert records[1].result == ("migrated", "ok", "z2")
+    for node in dep.zone_nodes("z2"):
+        assert node.app.balance_of("c1") == 10_123
+        assert node.locks.is_current("c1")
+
+
+def test_source_zone_rejects_local_requests_after_migration(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    drive_to_completion(dep, client, [("migrate", "z1")])
+    for node in dep.zone_nodes("z0"):
+        assert not node.locks.is_current("c1")
+    # A stale local request sent to the old zone is answered 'locked'.
+    from repro.crypto.digest import digest
+    from repro.messages.base import Signed
+    from repro.messages.client import ClientRequest
+    request = ClientRequest(operation=("deposit", 1), timestamp=99,
+                            sender="c1")
+    env = Signed(request, dep.keys.sign("c1", digest(request)))
+    dep.network.send("c1", "z0n0", env)
+    dep.run(dep.sim.now + 5_000)
+    for node in dep.zone_nodes("z0"):
+        assert node.app.balance_of("c1") == 10_000  # unchanged stale copy
+
+
+def test_balance_follows_chain_of_migrations(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    records = drive_to_completion(dep, client, [
+        ("local", ("deposit", 1)),
+        ("migrate", "z1"),
+        ("local", ("deposit", 2)),
+        ("migrate", "z2"),
+        ("local", ("deposit", 4)),
+        ("migrate", "z0"),
+        ("local", ("balance",)),
+    ])
+    assert records[-1].result == ("ok", 10_007)
+    assert client.current_zone == "z0"
+    for node in dep.zone_nodes("z0"):
+        assert node.app.balance_of("c1") == 10_007
+
+
+def test_migration_applies_exactly_once(ziziphus3):
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    drive_to_completion(dep, client, [("migrate", "z1")])
+    applied = [node.migration.migrations_applied
+               for node in dep.zone_nodes("z1")]
+    assert applied == [1, 1, 1, 1]
+
+
+def test_two_clients_swap_zones(ziziphus3):
+    dep = ziziphus3
+    alice = dep.add_client("alice", "z0")
+    bob = dep.add_client("bob", "z1")
+    dep.sim.schedule(0.0, alice.submit_migration, "z1")
+    dep.sim.schedule(0.0, bob.submit_migration, "z0")
+    dep.run(60_000)
+    assert alice.current_zone == "z1"
+    assert bob.current_zone == "z0"
+    for node in dep.zone_nodes("z1"):
+        assert node.locks.is_current("alice")
+        assert not node.locks.is_current("bob")
+    for node in dep.zone_nodes("z0"):
+        assert node.locks.is_current("bob")
+        assert not node.locks.is_current("alice")
+
+
+def test_healthcare_record_follows_patient():
+    from repro.app.healthcare import HealthcareApp
+    dep = small_ziziphus(
+        app_factory=HealthcareApp,
+        seed_client=lambda app, cid: app.execute(("admit", 60), cid))
+    patient = dep.add_client("p1", "z0")
+    records = drive_to_completion(dep, patient, [
+        ("local", ("reading", "glucose", 140)),
+        ("migrate", "z2"),
+        ("local", ("history", "glucose")),
+    ])
+    assert records[0].result == ("ok", "glucose", 140)
+    assert records[1].result == ("migrated", "ok", "z2")
+    assert records[2].result == ("ok", (140,))
+    for node in dep.zone_nodes("z2"):
+        assert node.app.has_patient("p1")

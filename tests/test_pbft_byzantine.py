@@ -1,0 +1,122 @@
+"""PBFT under Byzantine behaviour: safety always, liveness with <= f faults."""
+
+import pytest
+
+from repro.app.banking import BankingApp
+from repro.crypto.keys import KeyRegistry
+from repro.pbft.faults import make_behavior
+from repro.pbft.node import PBFTNode
+from repro.pbft.replica import PBFTConfig
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyModel, Region
+from repro.sim.network import Network
+from tests.test_pbft_normal import make_client, run_ops
+
+
+def build_byzantine_group(behaviors, n=4, f=1, seed=13):
+    sim = Simulator()
+    net = Network(sim, LatencyModel(), seed=seed)
+    keys = KeyRegistry(seed=seed)
+    group = tuple(f"n{i}" for i in range(n))
+    config = PBFTConfig(batch_size=1, batch_timeout_ms=0.5,
+                        request_timeout_ms=150.0,
+                        view_change_timeout_ms=300.0)
+    nodes = []
+    for i, nid in enumerate(group):
+        behavior = make_behavior(behaviors.get(i, "honest"))
+        node = PBFTNode(sim, net, keys, nid, group, f=f, app=BankingApp(),
+                        config=config, behavior=behavior)
+        net.register(node, Region.CALIFORNIA)
+        nodes.append(node)
+    return sim, net, keys, group, nodes
+
+
+def assert_honest_agree(nodes, honest_indices, balance, min_agreeing=None):
+    """Honest replicas never diverge; at least ``min_agreeing`` of them
+    (default: all) executed up to ``balance``.
+
+    Under an equivocating primary one honest replica can legitimately be
+    left *behind* (it refuses the forked digest and waits for a state
+    transfer); it must simply never execute something different.
+    """
+    if min_agreeing is None:
+        min_agreeing = len(honest_indices)
+    caught_up = []
+    for i in honest_indices:
+        replica = nodes[i].replica
+        observed = replica.app.balance_of("c1")
+        assert observed in (0, balance) or observed <= balance
+        if observed == balance:
+            caught_up.append(i)
+    assert len(caught_up) >= min_agreeing
+    digests = {nodes[i].replica.app.state_digest() for i in caught_up}
+    assert len(digests) == 1
+
+
+@pytest.mark.parametrize("behavior", ["silent", "equivocate",
+                                      "corrupt-signature"])
+def test_byzantine_primary_cannot_stop_or_split_the_group(behavior):
+    sim, net, keys, group, nodes = build_byzantine_group({0: behavior})
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 100), ("deposit", 10),
+                                 ("deposit", 10)])
+    assert [r.result for r in done] == [("ok", 100), ("ok", 110), ("ok", 120)]
+    # 2f honest replicas (enough for the client's f+1 reply quorum) must
+    # have executed; none may diverge.
+    assert_honest_agree(nodes, (1, 2, 3), 120, min_agreeing=2)
+
+
+@pytest.mark.parametrize("behavior", ["silent", "equivocate",
+                                      "corrupt-signature"])
+def test_byzantine_backup_is_harmless(behavior):
+    sim, net, keys, group, nodes = build_byzantine_group({2: behavior})
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 50), ("deposit", 5)])
+    assert [r.result for r in done] == [("ok", 50), ("ok", 55)]
+    assert_honest_agree(nodes, (0, 1, 3), 55)
+    # No view change needed: the primary is honest.
+    assert all(nodes[i].replica.view == 0 for i in (0, 1, 3))
+
+
+def test_f_byzantine_of_7_tolerated():
+    sim, net, keys, group, nodes = build_byzantine_group(
+        {0: "silent", 3: "equivocate"}, n=7, f=2)
+    client = make_client(sim, net, keys, group, f=2)
+    done = run_ops(sim, client, [("open", 10), ("deposit", 1)], until=120_000)
+    assert [r.result for r in done] == [("ok", 10), ("ok", 11)]
+    assert_honest_agree(nodes, (1, 2, 4, 5, 6), 11)
+
+
+def test_more_than_f_faults_lose_liveness_but_never_safety():
+    sim, net, keys, group, nodes = build_byzantine_group(
+        {0: "silent", 1: "silent"}, n=4, f=1)
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 10)], until=30_000, )
+    # No quorum of 3 honest nodes exists: the request cannot complete...
+    assert done == []
+    # ...but the two honest replicas never diverge.
+    assert nodes[2].replica.app.state_digest() == \
+        nodes[3].replica.app.state_digest()
+    assert nodes[2].replica.executed_requests == 0
+
+
+def test_equivocating_primary_cannot_commit_two_values():
+    """Core safety: no two honest replicas execute different batches at
+    the same sequence, even with an equivocating primary."""
+    sim, net, keys, group, nodes = build_byzantine_group({0: "equivocate"})
+    clients = [make_client(sim, net, keys, group, client_id=f"c{i}")
+               for i in range(4)]
+    for client in clients:
+        client.submit(("open", 10))
+    sim.run(until=60_000)
+    # Collect per-sequence batch digests from every honest replica.
+    per_sequence = {}
+    for node in nodes[1:]:
+        replica = node.replica
+        for record in replica.client_table.items():
+            pass
+        for seq, slot in replica.slots.items():
+            if slot.executed and slot.batch_digest is not None:
+                per_sequence.setdefault(seq, set()).add(slot.batch_digest)
+    for seq, digests in per_sequence.items():
+        assert len(digests) == 1, f"divergent commit at sequence {seq}"

@@ -1,0 +1,54 @@
+"""PBFT checkpointing and garbage collection tests."""
+
+from tests.test_pbft_normal import build_group, make_client, run_ops
+
+
+def test_checkpoint_becomes_stable_and_gcs_slots():
+    sim, net, keys, group, nodes = build_group(checkpoint_period=4,
+                                               water_mark_window=64)
+    client = make_client(sim, net, keys, group)
+    ops = [("open", 100)] + [("deposit", 1)] * 7
+    done = run_ops(sim, client, ops)
+    assert len(done) == 8
+    for node in nodes:
+        replica = node.replica
+        stable = replica.checkpoints.stable
+        assert stable is not None
+        assert stable.sequence == 8
+        # Slots at or below the stable checkpoint are collected.
+        assert all(seq > stable.sequence for seq in replica.slots)
+        assert replica.low_water_mark == 8
+
+
+def test_checkpoint_snapshot_matches_state():
+    sim, net, keys, group, nodes = build_group(checkpoint_period=2)
+    client = make_client(sim, net, keys, group)
+    run_ops(sim, client, [("open", 100), ("deposit", 50)])
+    stable = nodes[0].replica.checkpoints.stable
+    assert stable.snapshot["client/c1/balance"] == 150
+    assert stable.state_digest == nodes[0].replica.app.state_digest()
+
+
+def test_water_marks_gate_the_primary():
+    sim, net, keys, group, nodes = build_group(checkpoint_period=4,
+                                               water_mark_window=8)
+    client = make_client(sim, net, keys, group)
+    ops = [("open", 1)] + [("deposit", 1)] * 15
+    done = run_ops(sim, client, ops, until=120_000)
+    # All requests execute: checkpoints advance the window as it fills.
+    assert len(done) == 16
+    assert all(n.replica.last_executed == 16 for n in nodes)
+
+
+def test_out_of_period_checkpoint_generation():
+    sim, net, keys, group, nodes = build_group(checkpoint_period=1000)
+    client = make_client(sim, net, keys, group)
+    run_ops(sim, client, [("open", 10)])
+    # Ziziphus triggers checkpoints on migration requests regardless of
+    # the period; emulate that call on every replica.
+    for node in nodes:
+        node.replica.checkpoints.generate(node.replica.last_executed)
+    sim.run(until=sim.now + 5_000)
+    for node in nodes:
+        assert node.replica.checkpoints.stable is not None
+        assert node.replica.checkpoints.stable.sequence == 1

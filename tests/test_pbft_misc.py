@@ -1,0 +1,98 @@
+"""Miscellaneous PBFT edge cases: water marks, deferral, equivocation."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.messages.base import Signed, sign_message
+from repro.messages.pbft import Commit, Prepare, PrePrepare
+from tests.test_pbft_normal import build_group, make_client, run_ops
+
+
+def test_group_size_validation():
+    from repro.app.banking import BankingApp
+    from repro.pbft.replica import PBFTReplica
+    sim, net, keys, group, nodes = build_group()
+    with pytest.raises(ConfigurationError):
+        PBFTReplica(host=nodes[0], group=("a", "b", "c"), f=1,
+                    app=BankingApp())
+
+
+def test_pre_prepare_outside_water_marks_ignored():
+    sim, net, keys, group, nodes = build_group()
+    replica = nodes[1].replica
+    pp = PrePrepare(view=0, sequence=10_000_000, batch_digest=b"",
+                    batch=(), sender="n0")
+    env = sign_message(keys, "n0", pp)
+    net.send("n0", "n1", env)
+    sim.run(until=1_000)
+    assert 10_000_000 not in replica.slots
+
+
+def test_pre_prepare_from_non_primary_ignored():
+    sim, net, keys, group, nodes = build_group()
+    from repro.crypto.digest import digest
+    pp = PrePrepare(view=0, sequence=1, batch_digest=digest(()),
+                    batch=(), sender="n2")   # n2 is not the view-0 primary
+    env = sign_message(keys, "n2", pp)
+    net.send("n2", "n1", env)
+    sim.run(until=1_000)
+    slot = nodes[1].replica.slots.get(1)
+    assert slot is None or slot.pre_prepare is None
+
+
+def test_pre_prepare_with_wrong_batch_digest_ignored():
+    sim, net, keys, group, nodes = build_group()
+    pp = PrePrepare(view=0, sequence=1, batch_digest=b"wrong",
+                    batch=(), sender="n0")
+    env = sign_message(keys, "n0", pp)
+    net.send("n0", "n1", env)
+    sim.run(until=1_000)
+    slot = nodes[1].replica.slots.get(1)
+    assert slot is None or slot.pre_prepare is None
+
+
+def test_future_view_messages_are_deferred_not_lost():
+    sim, net, keys, group, nodes = build_group()
+    replica = nodes[1].replica
+    from repro.crypto.digest import digest
+    pp = PrePrepare(view=3, sequence=1, batch_digest=digest(()),
+                    batch=(), sender="n3")   # primary of view 3
+    env = sign_message(keys, "n3", pp)
+    net.send("n3", "n1", env)
+    sim.run(until=1_000)
+    assert len(replica._future) == 1
+    # Once view 3 activates, the deferred message is replayed.
+    replica.view = 3
+    replica.view_active = True
+    replica.replay_deferred()
+    assert replica._future == []
+    assert replica.slots[1].pre_prepare is not None
+
+
+def test_commits_with_conflicting_digest_do_not_mix():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 10)])
+    assert done
+    replica = nodes[1].replica
+    # Inject a commit for an executed sequence with a different digest:
+    # it must not disturb the slot.
+    executed = {s: slot for s, slot in replica.slots.items() if slot.executed}
+    if executed:
+        seq, slot = next(iter(executed.items()))
+        before = set(slot.commit_senders)
+        fake = Commit(view=0, sequence=seq, batch_digest=b"other",
+                      sender="n2")
+        net.send("n2", "n1", sign_message(keys, "n2", fake))
+        sim.run(until=sim.now + 1_000)
+        assert slot.commit_senders == before
+
+
+def test_prepare_from_primary_is_not_counted():
+    sim, net, keys, group, nodes = build_group()
+    replica = nodes[1].replica
+    prepare = Prepare(view=0, sequence=5, batch_digest=b"d", sender="n0")
+    net.send("n0", "n1", sign_message(keys, "n0", prepare))
+    sim.run(until=1_000)
+    slot = replica.slots.get(5)
+    assert slot is None or "n0" not in slot.prepare_senders

@@ -1,0 +1,139 @@
+"""PBFT normal-case integration tests (single group, no failures)."""
+
+import pytest
+
+from repro.app.banking import BankingApp
+from repro.crypto.keys import KeyRegistry
+from repro.pbft.client import PBFTClient
+from repro.pbft.node import PBFTNode
+from repro.pbft.replica import PBFTConfig
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyModel, Region
+from repro.sim.network import Network
+
+
+def build_group(n=4, f=1, seed=5, **config_overrides):
+    sim = Simulator()
+    net = Network(sim, LatencyModel(), seed=seed)
+    keys = KeyRegistry(seed=seed)
+    group = tuple(f"n{i}" for i in range(n))
+    defaults = dict(batch_size=1, batch_timeout_ms=0.5,
+                    request_timeout_ms=150.0, view_change_timeout_ms=300.0)
+    defaults.update(config_overrides)
+    config = PBFTConfig(**defaults)
+    nodes = [PBFTNode(sim, net, keys, nid, group, f=f, app=BankingApp(),
+                      config=config) for nid in group]
+    for node in nodes:
+        net.register(node, Region.CALIFORNIA)
+    return sim, net, keys, group, nodes
+
+
+def make_client(sim, net, keys, group, f=1, client_id="c1"):
+    client = PBFTClient(sim, net, keys, client_id, group, f=f,
+                        retransmit_ms=400.0)
+    net.register(client, Region.CALIFORNIA)
+    return client
+
+
+def run_ops(sim, client, ops, until=60_000):
+    plan = list(ops)
+    done = []
+
+    def advance(record=None):
+        if record is not None:
+            done.append(record)
+        if len(done) < len(plan):
+            client.submit(plan[len(done)])
+
+    client.on_complete = advance
+    sim.schedule(0.0, advance)
+    sim.run(until=sim.now + until)
+    return done
+
+
+def test_requests_commit_and_replicas_converge():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 100), ("deposit", 20),
+                                 ("transfer", "c1", 0), ("balance",)])
+    assert [r.result for r in done] == [
+        ("ok", 100), ("ok", 120), ("ok", 120), ("ok", 120)]
+    digests = {n.replica.app.state_digest() for n in nodes}
+    assert len(digests) == 1
+    assert all(n.replica.last_executed == 4 for n in nodes)
+
+
+def test_latency_is_a_few_lan_roundtrips():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 1)])
+    # pre-prepare + prepare + commit + reply over a 1ms-RTT LAN.
+    assert done[0].latency_ms < 10.0
+
+
+def test_batching_amortises_consensus():
+    sim, net, keys, group, nodes = build_group(batch_size=8,
+                                               batch_timeout_ms=2.0)
+    clients = [make_client(sim, net, keys, group, client_id=f"c{i}")
+               for i in range(8)]
+    for client in clients:
+        client.submit(("open", 10))
+    sim.run(until=10_000)
+    assert all(len(c.completed) == 1 for c in clients)
+    # 8 requests should have been ordered in very few batches.
+    assert nodes[0].replica.executed_batches <= 2
+    assert nodes[0].replica.executed_requests == 8
+
+
+def test_duplicate_timestamp_gets_cached_reply_not_reexecution():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    run_ops(sim, client, [("open", 100), ("deposit", 10)])
+    executed_before = nodes[0].replica.executed_requests
+    # Replay the deposit with the same timestamp (client retransmission).
+    client.timestamp = 1
+    client._outstanding = None
+    done = run_ops(sim, client, [])
+    from repro.messages.client import ClientRequest
+    from repro.messages.base import sign_message
+    request = ClientRequest(operation=("deposit", 10), timestamp=2,
+                            sender="c1")
+    env = sign_message(keys, "c1", request)
+    net.send("c1", group[0], env)
+    sim.run(until=sim.now + 5_000)
+    assert nodes[0].replica.executed_requests == executed_before
+    assert all(n.replica.app.balance_of("c1") == 110 for n in nodes)
+
+
+def test_client_retransmission_to_all_still_executes_once():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    from repro.messages.client import ClientRequest
+    from repro.messages.base import sign_message
+    request = ClientRequest(operation=("open", 50), timestamp=1, sender="c1")
+    env = sign_message(keys, "c1", request)
+    for node_id in group:  # client multicasts to everyone at once
+        net.send("c1", node_id, env)
+    sim.run(until=10_000)
+    assert all(n.replica.app.balance_of("c1") == 50 for n in nodes)
+    assert nodes[0].replica.executed_requests == 1
+
+
+def test_larger_group_still_commits():
+    sim, net, keys, group, nodes = build_group(n=7, f=2)
+    client = make_client(sim, net, keys, group, f=2)
+    done = run_ops(sim, client, [("open", 5)])
+    assert done[0].result == ("ok", 5)
+    assert all(n.replica.app.balance_of("c1") == 5 for n in nodes)
+
+
+def test_invalid_client_signature_is_ignored():
+    sim, net, keys, group, nodes = build_group()
+    from repro.messages.client import ClientRequest
+    from repro.messages.base import Signed
+    request = ClientRequest(operation=("open", 99), timestamp=1, sender="c1")
+    env = Signed(request, keys.forged("c1"))
+    net.send("c1", group[0], env)
+    sim.run(until=5_000)
+    assert nodes[0].replica.executed_requests == 0
+    assert nodes[0].invalid_messages == 1

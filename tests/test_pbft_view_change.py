@@ -1,0 +1,82 @@
+"""PBFT view-change tests: liveness under primary failure."""
+
+from tests.test_pbft_normal import build_group, make_client, run_ops
+
+
+def test_crashed_primary_is_replaced_and_request_completes():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    nodes[0].crash()
+    done = run_ops(sim, client, [("open", 100), ("deposit", 25)])
+    assert [r.result for r in done] == [("ok", 100), ("ok", 125)]
+    for node in nodes[1:]:
+        assert node.replica.view >= 1
+        assert node.replica.view_active
+        assert node.replica.app.balance_of("c1") == 125
+
+
+def test_second_request_after_view_change_is_fast():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    nodes[0].crash()
+    done = run_ops(sim, client, [("open", 1), ("deposit", 1)])
+    # The first request pays the fail-over; the second runs normally.
+    assert done[0].latency_ms > 100
+    assert done[1].latency_ms < 20
+
+
+def test_consecutive_primary_failures_cascade_views():
+    sim, net, keys, group, nodes = build_group(n=7, f=2)
+    client = make_client(sim, net, keys, group, f=2)
+    nodes[0].crash()
+    nodes[1].crash()
+    done = run_ops(sim, client, [("open", 9)], until=120_000)
+    assert done and done[0].result == ("ok", 9)
+    views = {n.replica.view for n in nodes[2:]}
+    assert views == {2}, f"should settle in view 2, got {views}"
+
+
+def test_prepared_request_survives_view_change():
+    """A request prepared in view v must keep its slot in view v+1
+    (the prepared-proof carry-over in NEW-VIEW)."""
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 7)])
+    assert done[0].result == ("ok", 7)
+    sequence = nodes[1].replica.last_executed
+    # Force a view change after commit; the slot must not be re-executed.
+    for node in nodes[1:]:
+        node.replica.view_changes.initiate(1)
+    sim.run(until=sim.now + 5_000)
+    for node in nodes[1:]:
+        assert node.replica.view == 1
+        assert node.replica.view_active
+        assert node.replica.last_executed >= sequence
+        assert node.replica.app.balance_of("c1") == 7
+    # And the group still works in the new view.
+    done = run_ops(sim, client, [("deposit", 3)])
+    assert done[0].result == ("ok", 10)
+
+
+def test_view_change_does_not_double_execute():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    run_ops(sim, client, [("open", 100), ("deposit", 10)])
+    executed = {n.node_id: n.replica.executed_requests for n in nodes}
+    for node in nodes:
+        node.replica.view_changes.initiate(1)
+    sim.run(until=sim.now + 5_000)
+    for node in nodes:
+        assert node.replica.executed_requests == executed[node.node_id]
+        assert node.replica.app.balance_of("c1") == 110
+
+
+def test_progress_resumes_after_primary_recovers_in_new_view():
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    nodes[0].crash()
+    done = run_ops(sim, client, [("open", 4)])
+    assert done[0].result == ("ok", 4)
+    nodes[0].recover()
+    done = run_ops(sim, client, [("deposit", 4)])
+    assert done[0].result == ("ok", 8)

@@ -1,0 +1,97 @@
+"""Tests for zone-replicated clients (§V-B availability option)."""
+
+import pytest
+
+from repro.core.replicated import ReplicatedClient, add_replicated_client
+from repro.errors import ConfigurationError
+from tests.conftest import small_ziziphus
+
+
+def build():
+    dep = small_ziziphus()
+    client = add_replicated_client(dep, "vip", ["z0", "z1"])
+    return dep, client
+
+
+def run_write(dep, client, operation, timeout=60_000):
+    results = []
+    client.on_complete = lambda record: results.append(record)
+    dep.sim.schedule(0.0, client.submit_replicated, operation)
+    dep.run(dep.sim.now + timeout)
+    return results
+
+
+def test_replicated_write_lands_on_every_group_zone():
+    dep, client = build()
+    results = run_write(dep, client, ("deposit", 500))
+    assert results[0].result == ("ok", "committed")
+    for zone_id in ("z0", "z1"):
+        for node in dep.zone_nodes(zone_id):
+            assert node.app.balance_of("vip") == 10_500
+    # Zones outside the group never saw the client.
+    for node in dep.zone_nodes("z2"):
+        assert not node.app.has_account("vip")
+
+
+def test_failed_replicated_write_changes_nothing():
+    dep, client = build()
+    results = run_write(dep, client, ("transfer", "ghost", 10))
+    assert results[0].result[0] == "err"
+    for zone_id in ("z0", "z1"):
+        for node in dep.zone_nodes(zone_id):
+            assert node.app.balance_of("vip") == 10_000
+
+
+def test_replicated_copies_stay_identical_across_writes():
+    dep, client = build()
+    for amount in (10, 20, 30):
+        run_write(dep, client, ("deposit", amount))
+    digests = {node.app.state_digest()
+               for zone_id in ("z0", "z1")
+               for node in dep.zone_nodes(zone_id)}
+    assert len(digests) == 1, "group replicas diverged"
+
+
+def test_whole_zone_failure_with_fail_over():
+    """Proposition 5.4's remedy: the client survives its home zone's
+    total failure by failing over to another group zone."""
+    dep, client = build()
+    run_write(dep, client, ("deposit", 777))
+    for node in dep.zone_nodes("z0"):
+        node.crash()
+    client.fail_over("z1")
+    # Local read from the surviving replica zone.
+    results = []
+    client.on_complete = lambda record: results.append(record)
+    dep.sim.schedule(0.0, client.submit_local, ("balance",))
+    dep.run(dep.sim.now + 30_000)
+    assert results[0].result == ("ok", 10_777)
+    assert results[0].latency_ms < 20   # a LAN-speed read, not recovery
+
+
+def test_replicated_write_pays_geo_latency():
+    """The paper's price tag: every replicated write is geo-scale
+    (100s of ms vs 10s of ms or less for plain local transactions)."""
+    dep, client = build()
+    plain = dep.add_client("plain", "z0")
+    results = run_write(dep, client, ("deposit", 1))
+    replicated_latency = results[0].latency_ms
+    local_results = []
+    plain.on_complete = lambda record: local_results.append(record)
+    dep.sim.schedule(0.0, plain.submit_local, ("deposit", 1))
+    dep.run(dep.sim.now + 30_000)
+    assert replicated_latency > 3 * local_results[0].latency_ms
+
+
+def test_group_validation():
+    dep = small_ziziphus()
+    with pytest.raises(ConfigurationError):
+        add_replicated_client(dep, "x", ["z0"])
+    client = add_replicated_client(dep, "y", ["z0", "z2"])
+    with pytest.raises(ConfigurationError):
+        client.fail_over("z1")
+    bare = ReplicatedClient(sim=dep.sim, network=dep.network, keys=dep.keys,
+                            client_id="bare", directory=dep.directory,
+                            home_zone="z0")
+    with pytest.raises(ConfigurationError):
+        bare.submit_replicated(("deposit", 1))

@@ -1,0 +1,124 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.events import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5.0, fired.append, "b")
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(9.0, fired.append, "c")
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 9.0
+
+
+def test_ties_break_by_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for name in "abc":
+        sim.schedule(1.0, fired.append, name)
+    sim.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_cancelled_events_do_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    assert handle.cancelled
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_until_advances_clock_without_executing_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(10.0, fired.append, "late")
+    executed = sim.run(until=5.0)
+    assert executed == 0
+    assert sim.now == 5.0
+    assert fired == []
+    sim.run()
+    assert fired == ["late"]
+
+
+def test_run_until_with_no_events_advances_clock():
+    sim = Simulator()
+    sim.run(until=42.0)
+    assert sim.now == 42.0
+
+
+def test_max_events_limits_execution():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(float(i), fired.append, i)
+    sim.run(max_events=2)
+    assert fired == [0, 1]
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_events_scheduled_during_execution_run():
+    sim = Simulator()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            sim.schedule(1.0, chain, n + 1)
+
+    sim.schedule(0.0, chain, 0)
+    sim.run()
+    assert fired == [0, 1, 2, 3]
+    assert sim.now == 3.0
+
+
+def test_scheduling_in_the_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+    with pytest.raises(SimulationError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_step_executes_one_event():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, 1)
+    sim.schedule(2.0, fired.append, 2)
+    assert sim.step()
+    assert fired == [1]
+    assert sim.step()
+    assert not sim.step()
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50))
+def test_property_execution_is_sorted_by_time(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(d))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
