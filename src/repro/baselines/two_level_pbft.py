@@ -140,6 +140,10 @@ class _GlobalHost:
     def cost_model(self) -> CostModel:
         return self._node.cost_model
 
+    @property
+    def obs(self):
+        return self._node.obs
+
     # -- host surface ---------------------------------------------------
     def register_handler(self, payload_type: type, handler: Callable) -> None:
         self.handlers[payload_type] = handler

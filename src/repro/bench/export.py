@@ -23,13 +23,15 @@ _FIELDS = [
     "seed", "throughput_tps", "latency_mean_ms", "latency_p50_ms",
     "latency_p95_ms", "latency_p99_ms", "completed", "local_completed",
     "global_completed", "local_latency_ms", "global_latency_ms",
+    # Per-phase latency breakdown (blank unless the run was instrumented).
+    "endorse_ms", "wan_ms", "queue_ms", "pbft_ms",
 ]
 
 
 def result_record(result: PointResult) -> dict:
     """Flatten one result into a CSV-ready record."""
     spec, metrics = result.spec, result.metrics
-    return {
+    record = {
         "protocol": spec.protocol,
         "num_zones": spec.num_zones,
         "f": spec.f,
@@ -50,6 +52,10 @@ def result_record(result: PointResult) -> dict:
         "local_latency_ms": round(metrics.local_latency_ms, 3),
         "global_latency_ms": round(metrics.global_latency_ms, 3),
     }
+    for name in ("endorse_ms", "wan_ms", "queue_ms", "pbft_ms"):
+        value = metrics.phase_breakdown.get(name)
+        record[name] = round(value, 3) if value is not None else ""
+    return record
 
 
 def write_csv(path: str | Path, results: Iterable[PointResult]) -> Path:

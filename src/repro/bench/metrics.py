@@ -1,20 +1,39 @@
-"""Throughput / latency metrics over completed-request records."""
+"""Throughput / latency metrics over completed-request records.
+
+When an :class:`~repro.obs.bus.Instrumentation` bus is supplied, the
+metrics additionally carry a *per-phase latency breakdown* derived from
+the protocol spans the bus collected: intra-zone endorsement time, WAN
+phase time (promise + accepted round trips), CPU queueing delay, and
+local PBFT consensus time.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 from repro.pbft.client import CompletedRequest
 
-__all__ = ["Metrics", "compute_metrics"]
+__all__ = ["Metrics", "compute_metrics", "phase_breakdown"]
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
+    """Linearly interpolated percentile over pre-sorted values.
+
+    ``fraction`` is in ``[0, 1]``; between ranks, the value is
+    interpolated (numpy's default "linear" method), so e.g. the median
+    of ``[1, 2]`` is ``1.5`` rather than an arbitrary neighbour.
+    """
     if not sorted_values:
         return 0.0
-    index = min(len(sorted_values) - 1,
-                max(0, int(round(fraction * (len(sorted_values) - 1)))))
-    return sorted_values[index]
+    fraction = min(1.0, max(0.0, fraction))
+    position = fraction * (len(sorted_values) - 1)
+    lower = math.floor(position)
+    upper = math.ceil(position)
+    if lower == upper:
+        return sorted_values[lower]
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
 
 
 @dataclass
@@ -31,24 +50,59 @@ class Metrics:
     global_completed: int
     local_latency_ms: float
     global_latency_ms: float
+    #: Per-phase mean latency columns (ms), populated when an
+    #: instrumentation bus was attached to the run; empty otherwise.
+    phase_breakdown: dict[str, float] = field(default_factory=dict)
 
     def row(self) -> dict[str, float]:
         """Flat dict for report tables."""
-        return {
+        out = {
             "tput_tps": round(self.throughput_tps, 1),
             "lat_ms": round(self.latency_mean_ms, 2),
             "p50_ms": round(self.latency_p50_ms, 2),
             "p95_ms": round(self.latency_p95_ms, 2),
             "completed": self.completed,
         }
+        for name, value in self.phase_breakdown.items():
+            out[name] = round(value, 3)
+        return out
+
+
+def _hist_mean(obs, *names: str) -> float:
+    """Count-weighted mean across one or more bus histograms."""
+    total = 0.0
+    count = 0
+    for name in names:
+        hist = obs.histograms.get(name)
+        if hist is not None and hist.count:
+            total += hist.total
+            count += hist.count
+    return total / count if count else 0.0
+
+
+def phase_breakdown(obs) -> dict[str, float]:
+    """Derive the per-phase latency columns from collected spans.
+
+    - ``endorse_ms``: mean intra-zone endorsement round.
+    - ``wan_ms``: mean WAN phase (promise + accepted round trips).
+    - ``queue_ms``: mean CPU queueing delay per message.
+    - ``pbft_ms``: mean local PBFT consensus (pre-prepare -> execute).
+    """
+    return {
+        "endorse_ms": _hist_mean(obs, "span.endorse"),
+        "wan_ms": _hist_mean(obs, "span.promise", "span.accepted"),
+        "queue_ms": _hist_mean(obs, "cpu.queue_ms"),
+        "pbft_ms": _hist_mean(obs, "span.pbft"),
+    }
 
 
 def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
-                    end_ms: float) -> Metrics:
+                    end_ms: float, obs=None) -> Metrics:
     """Aggregate records completed in the measurement window.
 
     Throughput is completions per second over ``[warmup_ms, end_ms)``;
-    latencies are per-request end-to-end times.
+    latencies are per-request end-to-end times. ``obs``, if given, is an
+    enabled instrumentation bus whose spans yield the per-phase columns.
     """
     window = [r for r in records
               if warmup_ms <= r.completed_at < end_ms]
@@ -71,4 +125,5 @@ def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
         global_completed=len(globals_),
         local_latency_ms=mean([r.latency_ms for r in locals_]),
         global_latency_ms=mean([r.latency_ms for r in globals_]),
+        phase_breakdown=phase_breakdown(obs) if obs is not None else {},
     )

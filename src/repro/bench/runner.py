@@ -24,6 +24,7 @@ from repro.core.deployment import ZiziphusConfig, build_ziziphus
 from repro.core.migration_protocol import MigrationConfig
 from repro.core.sync_protocol import SyncConfig
 from repro.errors import ConfigurationError
+from repro.obs.bus import Instrumentation
 from repro.pbft.replica import PBFTConfig
 from repro.workload.driver import ClosedLoopDriver
 from repro.workload.generator import WorkloadMix
@@ -69,6 +70,14 @@ class PointSpec:
     use_threshold_signatures: bool = True
     checkpoint_on_migration: bool = False
     batch_size: int = 16
+    #: Attach an instrumentation bus (histograms + phase spans); yields
+    #: the per-phase latency columns in the metrics.
+    instrument: bool = False
+    #: Additionally record the full structured event trace (implies
+    #: ``instrument``); export via :mod:`repro.obs.export`.
+    record_trace: bool = False
+    #: Queue-depth / utilization sampling cadence (0 disables sampling).
+    sample_interval_ms: float = 25.0
 
 
 @dataclass
@@ -77,6 +86,8 @@ class PointResult:
 
     spec: PointSpec
     metrics: Metrics
+    #: The instrumentation bus of the run (None unless ``instrument``).
+    obs: object | None = None
 
     def row(self) -> dict:
         """Flat dict row for report tables."""
@@ -154,6 +165,13 @@ def _inject_backup_failures(spec: PointSpec, deployment) -> None:
 def run_point(spec: PointSpec) -> PointResult:
     """Run one experiment point and return its metrics."""
     deployment = _build(spec)
+    obs = None
+    if spec.instrument or spec.record_trace:
+        obs = Instrumentation(enabled=True, recording=spec.record_trace)
+        obs.attach(deployment)
+        if spec.sample_interval_ms > 0:
+            obs.start_sampler(deployment,
+                              interval_ms=spec.sample_interval_ms)
     driver = ClosedLoopDriver(deployment, _mix(spec),
                               clients_per_zone=spec.clients_per_zone,
                               seed=spec.seed)
@@ -161,5 +179,6 @@ def run_point(spec: PointSpec) -> PointResult:
     driver.start()
     end_ms = spec.warmup_ms + spec.measure_ms
     deployment.sim.run(until=end_ms)
-    metrics = compute_metrics(driver.records, spec.warmup_ms, end_ms)
-    return PointResult(spec=spec, metrics=metrics)
+    metrics = compute_metrics(driver.records, spec.warmup_ms, end_ms,
+                              obs=obs)
+    return PointResult(spec=spec, metrics=metrics, obs=obs)

@@ -6,6 +6,9 @@ Run single experiment points or whole paper figures from a shell::
     python -m repro compare --zones 3 --global-fraction 0.1
     python -m repro figure fig4
     python -m repro analyze-assignment --zones 10 --zone-size 4 --byzantine 8
+    python -m repro trace --out trace.jsonl --chrome trace.json
+
+(Also installed as the ``repro`` console script.)
 """
 
 from __future__ import annotations
@@ -46,6 +49,20 @@ def build_parser() -> argparse.ArgumentParser:
     assignment.add_argument("--zones", type=int, default=10)
     assignment.add_argument("--zone-size", type=int, default=4)
     assignment.add_argument("--byzantine", type=int, default=10)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run an instrumented point and export its structured trace")
+    trace.add_argument("--protocol", choices=PROTOCOLS, default="ziziphus")
+    _add_point_args(trace)
+    trace.add_argument("--out", default=None, metavar="PATH",
+                       help="write the JSONL trace here")
+    trace.add_argument("--chrome", default=None, metavar="PATH",
+                       help="write a Chrome trace_event file here "
+                            "(open in Perfetto / chrome://tracing)")
+    trace.add_argument("--sample-interval-ms", type=float, default=25.0,
+                       help="queue-depth/utilization sampling cadence "
+                            "(0 disables)")
     return parser
 
 
@@ -110,6 +127,31 @@ def main(argv: Sequence[str] | None = None) -> int:
         }[args.name]
         results = runner()
         print(format_table([_row(r) for r in results], title=args.name))
+        return 0
+
+    if args.command == "trace":
+        from dataclasses import replace
+
+        from repro.obs.export import write_chrome_trace, write_trace_jsonl
+        spec = replace(_spec(args, args.protocol), instrument=True,
+                       record_trace=True,
+                       sample_interval_ms=args.sample_interval_ms)
+        result = run_point(spec)
+        obs = result.obs
+        print(format_table([_row(result)], title="instrumented point"))
+        phase_rows = [{"phase": phase, **stats}
+                      for phase, stats in obs.phase_stats().items()]
+        if phase_rows:
+            print()
+            print(format_table(phase_rows, title="protocol phase spans (ms)"))
+        if args.out:
+            path = write_trace_jsonl(obs, args.out)
+            print(f"\ntrace: {path} ({len(obs.events)} events, "
+                  f"{len(obs.spans)} spans)", file=sys.stderr)
+        if args.chrome:
+            path = write_chrome_trace(obs, args.chrome)
+            print(f"chrome trace: {path} "
+                  "(open at https://ui.perfetto.dev)", file=sys.stderr)
         return 0
 
     if args.command == "analyze-assignment":

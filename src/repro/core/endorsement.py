@@ -121,6 +121,10 @@ class EndorsementManager:
         """Current primary of this zone (from the local view)."""
         return self.members[self.view_provider() % len(self.members)]
 
+    def _obs(self):
+        obs = self.host.obs
+        return obs if obs is not None and obs.enabled else None
+
     def has_instance(self, instance: str) -> bool:
         """Whether this node has seen the instance's pre-prepare or led it."""
         state = self._instances.get(instance)
@@ -153,6 +157,13 @@ class EndorsementManager:
         state.use_prepare = use_prepare
         state.leading = True
         state.on_cert = on_cert
+        obs = self._obs()
+        if obs is not None:
+            obs.count("endorse.led")
+            if not state.done:
+                obs.span_open(self.host.sim.now, "endorse", instance,
+                              node=self.host.node_id,
+                              prepare=use_prepare)
         if state.done:
             # A previous primary already drove this instance to quorum and
             # the votes reached us; hand the certificate over immediately
@@ -268,6 +279,14 @@ class EndorsementManager:
         if state.payload is None:
             return  # quorum of shares but no validated payload yet
         state.done = True
+        obs = self._obs()
+        if obs is not None:
+            obs.count("endorse.quorum")
+            # Closes only on the node that opened (led) the instance;
+            # span_close is a no-op everywhere else.
+            obs.span_close(self.host.sim.now, "endorse", state.instance,
+                           node=self.host.node_id,
+                           shares=len(state.shares))
         cert = self._build_cert(state)
         if state.leading and state.on_cert is not None:
             state.on_cert(cert)

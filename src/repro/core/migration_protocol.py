@@ -121,6 +121,12 @@ class MigrationEngine:
                 self._watch(key, self._instance("state", ballot,
                                                 request.sender))
         elif zone_id == request.dest_zone:
+            obs = self._obs()
+            if obs is not None and key not in self._applied:
+                obs.span_open(self.node.sim.now, "migration-copy",
+                              self._span_key(*key), node=self.node.node_id,
+                              source=request.source_zone,
+                              dest=request.dest_zone)
             buffered = self._buffered_states.pop(key, None)
             if buffered is not None:
                 self._on_state(*buffered)
@@ -133,9 +139,24 @@ class MigrationEngine:
     def _instance(self, stage: str, ballot: Ballot, client_id: str) -> str:
         return f"mig-{stage}/{ballot.seq}.{ballot.zone_id}/{client_id}"
 
+    def _obs(self):
+        obs = self.node.obs
+        return obs if obs is not None and obs.enabled else None
+
+    @staticmethod
+    def _span_key(ballot: Ballot, client_id: str) -> str:
+        return f"{ballot.seq}.{ballot.zone_id}/{client_id}"
+
     def start_record_generation(self, ballot: Ballot,
                                 request: MigrationRequest) -> None:
         """Source primary: extract R(c), endorse it, ship it (lines 9-17)."""
+        obs = self._obs()
+        if obs is not None:
+            obs.count("migration.state_led")
+            obs.span_open(self.node.sim.now, "migration-state",
+                          self._span_key(ballot, request.sender),
+                          node=self.node.node_id,
+                          source=request.source_zone, dest=request.dest_zone)
         records = self.node.app.export_client(request.sender)
         records_digest = digest(records)
         context = StateContext(ballot=ballot, client_id=request.sender,
@@ -159,6 +180,15 @@ class MigrationEngine:
         env = Signed(state, self.node.keys.sign(self.node.node_id,
                                                 digest(state)))
         self._state_envs[self._key(ballot, request.sender)] = env
+        obs = self._obs()
+        if obs is not None:
+            obs.span_close(self.node.sim.now, "migration-state",
+                           self._span_key(ballot, request.sender),
+                           node=self.node.node_id,
+                           records=len(records))
+            obs.emit(self.node.sim.now, "migration.state_sent",
+                     node=self.node.node_id, client=request.sender,
+                     dest=request.dest_zone, records=len(records))
         dest_nodes = self.directory.zone(request.dest_zone).members
         for dst in dest_nodes:
             self.node.forward(dst, env)
@@ -237,6 +267,12 @@ class MigrationEngine:
             return
         self._applied.add(key)
         self._cancel_state_timer(key)
+        obs = self._obs()
+        if obs is not None:
+            obs.count("migration.applied")
+            obs.span_close(self.node.sim.now, "migration-copy",
+                           self._span_key(*key), node=self.node.node_id,
+                           records=len(context.records))
         self.node.app.import_client(context.client_id, context.records)
         self.node.locks.mark_current(context.client_id)
         self.migrations_applied += 1

@@ -219,6 +219,14 @@ class SyncEngine:
     def _instance(self, phase: str, ballot: Ballot) -> str:
         return f"{self.prefix}-{phase}/{ballot.seq}.{ballot.zone_id}"
 
+    def _obs(self):
+        obs = self.host.obs
+        return obs if obs is not None and obs.enabled else None
+
+    @staticmethod
+    def _bkey(ballot: Ballot) -> str:
+        return f"{ballot.seq}.{ballot.zone_id}"
+
     def _txn(self, ballot: Ballot) -> GlobalTxnState:
         txn = self.txns.get(ballot)
         if txn is None:
@@ -338,6 +346,14 @@ class SyncEngine:
         txn.request_digest = batch_digest(batch)
         if on_ready_to_commit is not None:
             self.hold_commit[ballot] = on_ready_to_commit
+        obs = self._obs()
+        if obs is not None:
+            obs.count("sync.txns")
+            obs.span_open(self.host.sim.now, "global-txn", self._bkey(ballot),
+                          node=self.node.node_id, batch=len(batch))
+            obs.emit(self.host.sim.now, "sync.start",
+                     node=self.node.node_id, ballot=self._bkey(ballot),
+                     batch=len(batch))
         if self.config.checkpoint_on_migration:
             self.node.replica.checkpoints.generate(
                 self.node.replica.last_executed)
@@ -369,6 +385,10 @@ class SyncEngine:
     # ------------------------------------------------------------------
     def _start_propose_phase(self, txn: GlobalTxnState) -> None:
         txn.phase = "propose"
+        obs = self._obs()
+        if obs is not None:
+            obs.span_open(self.host.sim.now, "propose",
+                          self._bkey(txn.ballot), node=self.node.node_id)
         context = ProposeContext(ballot=txn.ballot, requests=txn.batch)
         body = propose_body(txn.ballot, txn.request_digest)
         self.node.endorsement.lead(
@@ -382,6 +402,13 @@ class SyncEngine:
                           requests=txn.batch, cert=cert,
                           sender=self.node.node_id)
         txn.phase = "promise-wait"
+        obs = self._obs()
+        if obs is not None:
+            now = self.host.sim.now
+            obs.span_close(now, "propose", self._bkey(ballot),
+                           node=self.node.node_id)
+            obs.span_open(now, "promise", self._bkey(ballot),
+                          node=self.node.node_id)
         self.host.multicast_signed(self._other_zone_nodes(), propose)
         self._arm_phase_timer(txn, "promise-wait")
 
@@ -495,6 +522,12 @@ class SyncEngine:
         # +1: the initiator zone's own (certified) agreement counts.
         if len(txn.promises) + 1 >= self.majority:
             self._cancel_phase_timer(txn)
+            obs = self._obs()
+            if obs is not None:
+                obs.span_close(self.host.sim.now, "promise",
+                               self._bkey(promise.ballot),
+                               node=self.node.node_id,
+                               zones=len(txn.promises) + 1)
             self._start_accept_phase(txn,
                                      promises=tuple(txn.promises.values()))
 
@@ -504,6 +537,10 @@ class SyncEngine:
                    + [env.payload.prev_ballot for env in promises])
         txn.prev_ballot = prev
         txn.phase = "accept"
+        obs = self._obs()
+        if obs is not None:
+            obs.span_open(self.host.sim.now, "accept",
+                          self._bkey(txn.ballot), node=self.node.node_id)
         self.chain_tail = txn.ballot
         self.last_accepted = max(self.last_accepted, txn.ballot)
         context = AcceptContext(ballot=txn.ballot, prev_ballot=prev,
@@ -525,6 +562,13 @@ class SyncEngine:
         txn.phase = "accepted-wait"
         txn.accept_env = Signed(accept, self.host.keys.sign(
             self.node.node_id, digest(accept)))
+        obs = self._obs()
+        if obs is not None:
+            now = self.host.sim.now
+            obs.span_close(now, "accept", self._bkey(ballot),
+                           node=self.node.node_id)
+            obs.span_open(now, "accepted", self._bkey(ballot),
+                          node=self.node.node_id)
         self.host.multicast_signed(self._other_zone_nodes(), accept)
         self._arm_phase_timer(txn, "accepted-wait")
 
@@ -681,6 +725,12 @@ class SyncEngine:
             return
         if len(txn.accepteds) + 1 >= self.majority:
             self._cancel_phase_timer(txn)
+            obs = self._obs()
+            if obs is not None:
+                obs.span_close(self.host.sim.now, "accepted",
+                               self._bkey(accepted.ballot),
+                               node=self.node.node_id,
+                               zones=len(txn.accepteds) + 1)
             held = self.hold_commit.get(accepted.ballot)
             if held is not None:
                 txn.phase = "held"
@@ -709,6 +759,10 @@ class SyncEngine:
 
     def _start_commit_phase(self, txn: GlobalTxnState) -> None:
         txn.phase = "commit"
+        obs = self._obs()
+        if obs is not None:
+            obs.span_open(self.host.sim.now, "commit",
+                          self._bkey(txn.ballot), node=self.node.node_id)
         self.prepare_commit_cert(
             txn, on_cert=lambda cert, b=txn.ballot: self._send_commit(b, cert))
 
@@ -727,6 +781,10 @@ class SyncEngine:
                               requests=txn.batch, cert=cert,
                               checkpoints=tuple(checkpoints),
                               sender=self.node.node_id)
+        obs = self._obs()
+        if obs is not None:
+            obs.span_close(self.host.sim.now, "commit", self._bkey(ballot),
+                           node=self.node.node_id)
         self.host.multicast_signed(self._all_nodes(), commit,
                                    include_self=True)
 
@@ -773,6 +831,13 @@ class SyncEngine:
         if txn.committed:
             return
         txn.committed = True
+        obs = self._obs()
+        if obs is not None:
+            obs.count("sync.committed")
+            obs.emit(self.host.sim.now, "sync.commit",
+                     node=self.node.node_id,
+                     ballot=self._bkey(commit.ballot),
+                     batch=len(commit.requests))
         txn.commit_env = envelope
         txn.batch = commit.requests
         txn.request_digest = request_digest
@@ -803,6 +868,16 @@ class SyncEngine:
                                  "commit")
             return
         txn.executed = True
+        obs = self._obs()
+        if obs is not None:
+            obs.count("sync.executed")
+            # Closes on the initiator primary that opened the ballot's
+            # global-txn span; no-op on every other node.
+            obs.span_close(self.host.sim.now, "global-txn",
+                           self._bkey(ballot), node=self.node.node_id)
+            obs.emit(self.host.sim.now, "sync.execute",
+                     node=self.node.node_id, ballot=self._bkey(ballot),
+                     batch=len(txn.batch))
         results: dict[str, Any] = {}
         self.executed_results[ballot] = results
         is_initiator = self.my_zone.zone_id == ballot.zone_id

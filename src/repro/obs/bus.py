@@ -1,0 +1,184 @@
+"""The instrumentation bus: one hub for counters, histograms, spans, events.
+
+Cost tiers (so instrumentation is off-by-default cheap):
+
+1. **Counters** are always live — a dict increment, the same cost the old
+   ad-hoc ``NetworkStats`` paid. Legacy counter views read through them.
+2. **Histograms and spans** only record when ``enabled``. Call sites guard
+   with a single attribute check, so a disabled bus adds one branch to the
+   hot paths.
+3. **Trace events** only record when ``recording`` (which implies
+   ``enabled``); they feed the JSONL / Chrome exporters.
+
+All timestamps are *simulated* milliseconds supplied by the caller; the
+bus itself never reads a wall clock, so a fixed seed produces a
+byte-identical trace.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Any
+
+from repro.obs.events import Span, TraceEvent
+from repro.obs.hist import Histogram
+
+__all__ = ["Instrumentation"]
+
+
+class Instrumentation:
+    """Structured metrics/trace hub shared by every layer of a deployment."""
+
+    def __init__(self, enabled: bool = False, recording: bool = False,
+                 max_events: int = 1_000_000) -> None:
+        self.recording = recording
+        self.enabled = enabled or recording
+        self.max_events = max_events
+        #: Scalar counters (always live), e.g. ``net.sent``.
+        self.counters: Counter = Counter()
+        #: Grouped per-type counters, e.g. ``type_counters["net.msg"]``.
+        self.type_counters: dict[str, Counter] = defaultdict(Counter)
+        #: Named histograms (``enabled`` only), e.g. ``span.endorse``.
+        self.histograms: dict[str, Histogram] = {}
+        #: Structured point events (``recording`` only), emission order.
+        self.events: list[TraceEvent] = []
+        #: Closed phase spans (``recording`` only), close order.
+        self.spans: list[Span] = []
+        self.dropped_events = 0
+        self._open_spans: dict[tuple[str, str, str], tuple[float, dict]] = {}
+        self.sampler: Any = None
+
+    # ------------------------------------------------------------------
+    # Counters (tier 1: always on)
+    # ------------------------------------------------------------------
+    def count(self, name: str, delta: int = 1) -> None:
+        """Increment a scalar counter."""
+        self.counters[name] += delta
+
+    def count_type(self, group: str, type_name: str, delta: int = 1) -> None:
+        """Increment one type's counter within a group."""
+        self.type_counters[group][type_name] += delta
+
+    def value(self, name: str) -> int:
+        """Read a scalar counter (0 when never incremented)."""
+        return self.counters[name]
+
+    # ------------------------------------------------------------------
+    # Histograms (tier 2: enabled only)
+    # ------------------------------------------------------------------
+    def observe(self, name: str, value: float) -> None:
+        """Record a value into a named histogram (no-op when disabled)."""
+        if not self.enabled:
+            return
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram()
+        hist.record(value)
+
+    def histogram(self, name: str) -> Histogram | None:
+        """Return a named histogram, or None if nothing was recorded."""
+        return self.histograms.get(name)
+
+    # ------------------------------------------------------------------
+    # Spans (tier 2 for the latency histograms, tier 3 for the records)
+    # ------------------------------------------------------------------
+    def span_open(self, ts: float, phase: str, key: str, node: str = "",
+                  **fields: Any) -> None:
+        """Open (or re-open) a phase span keyed by ``(phase, key, node)``."""
+        if not self.enabled:
+            return
+        self._open_spans[(phase, key, node)] = (ts, fields)
+
+    def span_close(self, ts: float, phase: str, key: str, node: str = "",
+                   **fields: Any) -> float | None:
+        """Close a span; returns its duration, or None if never opened.
+
+        Closing an unopened span is a deliberate no-op so call sites can
+        close unconditionally (e.g. every node closes, only the opener
+        recorded).
+        """
+        opened = self._open_spans.pop((phase, key, node), None)
+        if opened is None:
+            return None
+        start, open_fields = opened
+        duration = ts - start
+        self.observe(f"span.{phase}", duration)
+        self.count(f"spans.{phase}")
+        if self.recording:
+            merged = dict(open_fields)
+            merged.update(fields)
+            self.spans.append(Span(phase=phase, key=key, node=node,
+                                   start_ms=start, end_ms=ts, fields=merged))
+        return duration
+
+    def open_span_count(self) -> int:
+        """Number of spans opened but not yet closed (diagnostics)."""
+        return len(self._open_spans)
+
+    # ------------------------------------------------------------------
+    # Events (tier 3: recording only)
+    # ------------------------------------------------------------------
+    def emit(self, ts: float, kind: str, node: str = "",
+             **fields: Any) -> None:
+        """Append a structured trace event (no-op unless recording)."""
+        if not self.recording:
+            return
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(TraceEvent(ts=ts, kind=kind, node=node,
+                                      fields=fields))
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, deployment: Any) -> "Instrumentation":
+        """Route a built deployment's sim, network, and processes here.
+
+        Counters already accumulated on the network's default bus are
+        merged so legacy views (``network.stats``) stay continuous.
+        """
+        sim = getattr(deployment, "sim", None)
+        if sim is not None:
+            sim.obs = self
+        network = getattr(deployment, "network", None)
+        if network is not None and network.obs is not self:
+            self.counters.update(network.obs.counters)
+            for group, counts in network.obs.type_counters.items():
+                self.type_counters[group].update(counts)
+            network.obs = self
+            for node_id in network.node_ids:
+                network.process(node_id).obs = self
+        return self
+
+    def start_sampler(self, deployment: Any,
+                      interval_ms: float = 25.0) -> None:
+        """Begin periodic per-node queue-depth / utilization sampling."""
+        from repro.obs.sampler import UtilizationSampler
+        self.sampler = UtilizationSampler(self, deployment.sim,
+                                          deployment.network,
+                                          interval_ms=interval_ms)
+        self.sampler.start()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def phase_stats(self) -> dict[str, dict[str, float]]:
+        """Snapshot of every ``span.*`` histogram, keyed by phase name."""
+        stats = {}
+        for name in sorted(self.histograms):
+            if name.startswith("span."):
+                stats[name[len("span."):]] = self.histograms[name].snapshot()
+        return stats
+
+    def snapshot(self) -> dict[str, Any]:
+        """Full structured summary (counters, types, histograms)."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "type_counters": {group: dict(sorted(counts.items()))
+                              for group, counts in
+                              sorted(self.type_counters.items())},
+            "histograms": {name: self.histograms[name].snapshot()
+                           for name in sorted(self.histograms)},
+            "dropped_events": self.dropped_events,
+        }

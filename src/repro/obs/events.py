@@ -1,0 +1,87 @@
+"""Typed trace records and canonical protocol-phase names.
+
+Phase names are shared across layers so the bench report, the JSONL trace,
+and the Chrome trace all agree on what a span is called. The paper's
+latency anatomy (§VII) splits into:
+
+- intra-zone endorsement rounds (``endorse`` plus the endorsement-backed
+  ``propose`` / ``accept`` / ``commit`` certificate builds),
+- WAN Paxos waits (``promise`` / ``accepted`` round trips across zones),
+- the PBFT pre-prepare→reply pipeline for local transactions (``pbft``),
+- the data migration protocol's state copy (``migration-state`` on the
+  source side, ``migration-copy`` on the destination side),
+- cross-cluster coordination (``cross-cluster``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = [
+    "TraceEvent", "Span",
+    "PHASE_ENDORSE", "PHASE_PROPOSE", "PHASE_PROMISE", "PHASE_ACCEPT",
+    "PHASE_ACCEPTED", "PHASE_COMMIT", "PHASE_GLOBAL_TXN",
+    "PHASE_MIGRATION_STATE", "PHASE_MIGRATION_COPY", "PHASE_CROSS_CLUSTER",
+    "PHASE_PBFT", "ALL_PHASES",
+]
+
+#: Intra-zone endorsement round (Algorithms 1 and 2 building block).
+PHASE_ENDORSE = "endorse"
+#: Initiator-side PROPOSE certificate build (endorsement time).
+PHASE_PROPOSE = "propose"
+#: WAN wait from PROPOSE multicast until a majority of PROMISEs.
+PHASE_PROMISE = "promise"
+#: Initiator-side ACCEPT certificate build (endorsement time).
+PHASE_ACCEPT = "accept"
+#: WAN wait from ACCEPT multicast until a majority of ACCEPTEDs.
+PHASE_ACCEPTED = "accepted"
+#: Initiator-side COMMIT certificate build (endorsement time).
+PHASE_COMMIT = "commit"
+#: Whole global transaction: ballot assignment to execution.
+PHASE_GLOBAL_TXN = "global-txn"
+#: Source zone: R(c) export + endorsement until STATE ships.
+PHASE_MIGRATION_STATE = "migration-state"
+#: Destination zone: global commit until R(c) is appended locally.
+PHASE_MIGRATION_COPY = "migration-copy"
+#: Cross-cluster transaction: coordination start to combined execution.
+PHASE_CROSS_CLUSTER = "cross-cluster"
+#: PBFT consensus: pre-prepare adoption to batch execution (per slot).
+PHASE_PBFT = "pbft"
+
+ALL_PHASES = (
+    PHASE_ENDORSE, PHASE_PROPOSE, PHASE_PROMISE, PHASE_ACCEPT,
+    PHASE_ACCEPTED, PHASE_COMMIT, PHASE_GLOBAL_TXN, PHASE_MIGRATION_STATE,
+    PHASE_MIGRATION_COPY, PHASE_CROSS_CLUSTER, PHASE_PBFT,
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One structured point event on the bus.
+
+    ``ts`` is simulated milliseconds; ``fields`` carries event-specific
+    structured data (message type, latency, drop reason, ...).
+    """
+
+    ts: float
+    kind: str
+    node: str = ""
+    fields: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class Span:
+    """One closed protocol-phase interval on one node."""
+
+    phase: str
+    key: str
+    node: str
+    start_ms: float
+    end_ms: float
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_ms(self) -> float:
+        """Span length in simulated milliseconds."""
+        return self.end_ms - self.start_ms

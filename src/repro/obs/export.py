@@ -1,0 +1,102 @@
+"""Deterministic trace export: JSONL and Chrome ``trace_event`` JSON.
+
+JSONL layout (one JSON object per line, compact separators, sorted keys —
+byte-identical across runs of the same seeded experiment):
+
+1. a ``meta`` header line,
+2. every trace event in emission order (``{"type": "event", ...}``),
+3. every closed span in close order (``{"type": "span", ...}``),
+4. a ``summary`` trailer with counters, type counters, and histogram
+   snapshots.
+
+The Chrome format wraps the same spans as complete (``"ph": "X"``) events
+and point events as instants (``"ph": "i"``), with one trace "thread" per
+node — load the file at https://ui.perfetto.dev or chrome://tracing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.bus import Instrumentation
+
+__all__ = ["trace_jsonl", "write_trace_jsonl", "chrome_trace",
+           "write_chrome_trace"]
+
+
+def _dumps(obj: Any) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=str)
+
+
+def _jsonl_lines(obs: Instrumentation) -> Iterator[str]:
+    yield _dumps({"type": "meta", "format": "repro-trace", "version": 1,
+                  "events": len(obs.events), "spans": len(obs.spans),
+                  "dropped_events": obs.dropped_events})
+    for event in obs.events:
+        record = {"type": "event", "ts": round(event.ts, 6),
+                  "kind": event.kind, "node": event.node}
+        record.update(event.fields)
+        yield _dumps(record)
+    for span in obs.spans:
+        record = {"type": "span", "phase": span.phase, "key": span.key,
+                  "node": span.node, "start": round(span.start_ms, 6),
+                  "end": round(span.end_ms, 6),
+                  "dur": round(span.duration_ms, 6)}
+        record.update(span.fields)
+        yield _dumps(record)
+    yield _dumps({"type": "summary", **obs.snapshot()})
+
+
+def trace_jsonl(obs: Instrumentation) -> str:
+    """Render the whole trace as a JSONL string."""
+    return "\n".join(_jsonl_lines(obs)) + "\n"
+
+
+def write_trace_jsonl(obs: Instrumentation, path: str | Path) -> Path:
+    """Write the JSONL trace to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(trace_jsonl(obs))
+    return path
+
+
+def chrome_trace(obs: Instrumentation) -> dict:
+    """Build a Chrome ``trace_event`` document (Perfetto-compatible).
+
+    Simulated milliseconds map to trace microseconds so one simulated
+    millisecond reads as one millisecond in the viewer.
+    """
+    nodes = sorted({span.node for span in obs.spans}
+                   | {event.node for event in obs.events if event.node})
+    tids = {node: index + 1 for index, node in enumerate(nodes)}
+    trace_events: list[dict] = []
+    for node, tid in tids.items():
+        trace_events.append({"ph": "M", "pid": 1, "tid": tid,
+                             "name": "thread_name",
+                             "args": {"name": node or "(global)"}})
+    for span in obs.spans:
+        trace_events.append({
+            "ph": "X", "pid": 1, "tid": tids.get(span.node, 0),
+            "name": span.phase, "cat": "phase",
+            "ts": round(span.start_ms * 1000.0, 3),
+            "dur": round(span.duration_ms * 1000.0, 3),
+            "args": {"key": span.key, **span.fields},
+        })
+    for event in obs.events:
+        trace_events.append({
+            "ph": "i", "pid": 1, "tid": tids.get(event.node, 0),
+            "name": event.kind, "cat": "event", "s": "t",
+            "ts": round(event.ts * 1000.0, 3),
+            "args": dict(event.fields),
+        })
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(obs: Instrumentation, path: str | Path) -> Path:
+    """Write the Chrome trace JSON to ``path`` and return it."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace(obs), sort_keys=True,
+                               separators=(",", ":"), default=str))
+    return path

@@ -1,0 +1,81 @@
+"""Deterministic fixed-bucket histograms for latency-style values.
+
+Buckets are geometric (powers of two from 1µs up), so recording is O(log
+bounds) with zero allocations after construction and the summary is
+byte-stable for a fixed input sequence. Percentiles interpolate linearly
+inside the winning bucket, which is plenty for report columns; exact
+``min``/``max``/``mean`` are tracked on the side.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+__all__ = ["Histogram"]
+
+#: Upper bucket bounds in ms: 0.001, 0.002, ... ~17.2 s, then +inf.
+_BOUNDS = tuple(0.001 * (2 ** i) for i in range(25))
+
+
+class Histogram:
+    """Fixed-bucket histogram of non-negative millisecond values."""
+
+    __slots__ = ("count", "total", "min", "max", "_buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self._buckets = [0] * (len(_BOUNDS) + 1)
+
+    def record(self, value: float) -> None:
+        """Add one observation (negative values clamp to zero)."""
+        if value < 0.0:
+            value = 0.0
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+        self._buckets[bisect_left(_BOUNDS, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Approximate percentile via in-bucket linear interpolation."""
+        if self.count == 0:
+            return 0.0
+        rank = fraction * (self.count - 1)
+        seen = 0
+        for index, bucket_count in enumerate(self._buckets):
+            if bucket_count == 0:
+                continue
+            if seen + bucket_count > rank:
+                lower = _BOUNDS[index - 1] if index > 0 else 0.0
+                upper = _BOUNDS[index] if index < len(_BOUNDS) else self.max
+                lower = max(lower, self.min)
+                upper = min(upper, self.max)
+                if upper <= lower or bucket_count == 1:
+                    return max(lower, min(upper, self.min))
+                within = (rank - seen) / (bucket_count - 1) \
+                    if bucket_count > 1 else 0.0
+                return lower + (upper - lower) * min(1.0, within)
+            seen += bucket_count
+        return self.max
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary dict for reports and trace export."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "p50": round(self.percentile(0.50), 6),
+            "p95": round(self.percentile(0.95), 6),
+            "p99": round(self.percentile(0.99), 6),
+        }

@@ -108,10 +108,17 @@ class HostNode(Process):
             return
         if not verify_signed(self.keys, message):
             self.invalid_messages += 1
+            if self.obs is not None:
+                self.obs.count("host.invalid_messages")
+                self.obs.emit(self.sim.now, "host.invalid",
+                              node=self.node_id, sender=sender,
+                              msg=type(message.payload).__name__)
             return
         payload = message.payload
         self.message_log.record("recv", type(payload).__name__)
         handler = self._handlers.get(type(payload))
         if handler is None:
+            if self.obs is not None:
+                self.obs.count("host.unhandled_messages")
             return
         handler(message.sender, payload, message)

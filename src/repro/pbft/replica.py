@@ -163,6 +163,17 @@ class PBFTReplica:
         return slot
 
     # ------------------------------------------------------------------
+    # Instrumentation
+    # ------------------------------------------------------------------
+    def _obs(self):
+        obs = self.host.obs
+        return obs if obs is not None and obs.enabled else None
+
+    @staticmethod
+    def _span_key(view: int, sequence: int) -> str:
+        return f"v{view}.s{sequence}"
+
+    # ------------------------------------------------------------------
     # Client requests and batching
     # ------------------------------------------------------------------
     def _on_client_request(self, sender: str, request: ClientRequest,
@@ -261,6 +272,12 @@ class PBFTReplica:
         slot.batch = batch
         for env in batch:
             self._digest_sequence[digest(env.payload)] = sequence
+        obs = self._obs()
+        if obs is not None:
+            obs.span_open(self.host.sim.now, "pbft",
+                          self._span_key(self.view, sequence),
+                          node=self.host.node_id, batch=len(batch),
+                          role="primary")
         self.host.multicast_signed(self.others, pre_prepare)
         self._check_prepared(slot)
 
@@ -307,6 +324,12 @@ class PBFTReplica:
         slot.pre_prepare = envelope
         slot.batch_digest = pp.batch_digest
         slot.batch = pp.batch
+        obs = self._obs()
+        if obs is not None:
+            obs.span_open(self.host.sim.now, "pbft",
+                          self._span_key(pp.view, pp.sequence),
+                          node=self.host.node_id, batch=len(pp.batch),
+                          role="backup")
         for req_env in pp.batch:
             req_digest = digest(req_env.payload)
             self.pending.pop(req_digest, None)
@@ -420,6 +443,16 @@ class PBFTReplica:
 
     def _execute_batch(self, slot: Slot) -> None:
         self.executed_batches += 1
+        obs = self._obs()
+        if obs is not None:
+            obs.count("pbft.executed_batches")
+            obs.count("pbft.executed_requests", len(slot.batch))
+            obs.span_close(self.host.sim.now, "pbft",
+                           self._span_key(slot.view, slot.sequence),
+                           node=self.host.node_id)
+            obs.emit(self.host.sim.now, "pbft.execute",
+                     node=self.host.node_id, view=slot.view,
+                     sequence=slot.sequence, batch=len(slot.batch))
         for req_env in slot.batch:
             request = req_env.payload
             result = self.app.execute(request.operation, request.sender)

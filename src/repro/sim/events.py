@@ -72,6 +72,8 @@ class Simulator:
         # comparison never reaches the (incomparable) event object.
         self._heap: list[tuple[float, int, _Event]] = []
         self._events_processed = 0
+        #: Optional instrumentation bus (set by Instrumentation.attach).
+        self.obs = None
 
     @property
     def now(self) -> float:
@@ -113,6 +115,8 @@ class Simulator:
                 continue
             self._now = time
             self._events_processed += 1
+            if self.obs is not None:
+                self.obs.count("sim.events")
             event.fn(*event.args)
             return True
         return False
@@ -143,6 +147,8 @@ class Simulator:
             heapq.heappop(heap)
             self._now = time
             self._events_processed += 1
+            if self.obs is not None:
+                self.obs.count("sim.events")
             event.fn(*event.args)
             executed += 1
         if until is not None and until > self._now:

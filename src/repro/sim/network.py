@@ -6,15 +6,20 @@ applies fault-injection rules: crashed endpoints, network partitions, and
 probabilistic per-link drops. Delivery order between a pair of nodes is not
 guaranteed (messages race, as in a real asynchronous network), but the whole
 schedule is deterministic for a fixed seed.
+
+All traffic accounting flows through the instrumentation bus
+(:class:`~repro.obs.bus.Instrumentation`); :class:`NetworkStats` survives
+as a thin read-only view over the bus counters so existing call sites
+(``network.stats.sent`` etc.) keep working.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
 from typing import Any, Iterable
 
 from repro.errors import ConfigurationError
+from repro.obs.bus import Instrumentation
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyModel, Region
 from repro.sim.process import Process
@@ -23,15 +28,42 @@ from repro.sim.rng import derive_rng
 __all__ = ["Network", "NetworkStats"]
 
 
-@dataclass
 class NetworkStats:
-    """Counters describing the traffic that crossed the network."""
+    """Read-only counter view describing traffic that crossed the network.
 
-    sent: int = 0
-    delivered: int = 0
-    dropped: int = 0
-    wan_sent: int = 0
-    by_type: Counter = field(default_factory=Counter)
+    Reads live through ``network.obs``, so retroactively attaching a
+    shared bus (``Instrumentation.attach``) keeps the view working.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: "Network") -> None:
+        self._network = network
+
+    @property
+    def sent(self) -> int:
+        """Messages handed to the network for transmission."""
+        return self._network.obs.value("net.sent")
+
+    @property
+    def delivered(self) -> int:
+        """Messages scheduled for delivery at their destination."""
+        return self._network.obs.value("net.delivered")
+
+    @property
+    def dropped(self) -> int:
+        """Messages lost to faults or unknown destinations."""
+        return self._network.obs.value("net.dropped")
+
+    @property
+    def wan_sent(self) -> int:
+        """Delivered messages that crossed a region boundary."""
+        return self._network.obs.value("net.wan_sent")
+
+    @property
+    def by_type(self) -> Counter:
+        """Per-payload-type send counts."""
+        return self._network.obs.type_counters["net.msg"]
 
     def snapshot(self) -> dict[str, int]:
         """Return the scalar counters as a plain dict."""
@@ -47,7 +79,7 @@ class Network:
     """Latency-injecting message bus between registered processes."""
 
     def __init__(self, sim: Simulator, latency: LatencyModel | None = None,
-                 seed: int = 0) -> None:
+                 seed: int = 0, obs: Instrumentation | None = None) -> None:
         self.sim = sim
         self.latency = latency or LatencyModel()
         self._rng = derive_rng(seed, "network")
@@ -56,7 +88,9 @@ class Network:
         self._partition: list[frozenset[str]] | None = None
         self._drop_rate: dict[tuple[str, str], float] = {}
         self._disconnected: set[str] = set()
-        self.stats = NetworkStats()
+        #: The instrumentation bus; a private disabled hub by default.
+        self.obs = obs or Instrumentation()
+        self.stats = NetworkStats(self)
 
     # ------------------------------------------------------------------
     # Membership
@@ -67,6 +101,7 @@ class Network:
             raise ConfigurationError(f"duplicate node id {process.node_id!r}")
         self._procs[process.node_id] = process
         self._regions[process.node_id] = region
+        process.obs = self.obs
 
     def process(self, node_id: str) -> Process:
         """Return the registered process for ``node_id``."""
@@ -81,6 +116,8 @@ class Network:
         if node_id not in self._procs:
             raise ConfigurationError(f"unknown node {node_id!r}")
         self._regions[node_id] = region
+        self.obs.emit(self.sim.now, "net.move", node=node_id,
+                      region=region.name)
 
     @property
     def node_ids(self) -> list[str]:
@@ -94,26 +131,48 @@ class Network:
         """Partition the network: messages across groups are dropped.
 
         Pass ``None`` to heal the partition. Nodes not named in any group
-        are unreachable from every group.
+        are unreachable from every group. Messages already in flight when
+        the partition changes are unaffected: link rules apply at *send*
+        time.
         """
         if groups is None:
             self._partition = None
         else:
             self._partition = [frozenset(g) for g in groups]
+        self.obs.emit(self.sim.now, "net.partition",
+                      groups=[sorted(g) for g in self._partition or []])
 
     def set_drop_rate(self, src: str, dst: str, probability: float) -> None:
-        """Drop messages from ``src`` to ``dst`` with the given probability."""
+        """Drop messages from ``src`` to ``dst`` with the given probability.
+
+        A probability of ``0.0`` *removes* the rule, so healed links stop
+        paying the per-message RNG draw entirely.
+        """
         if not 0.0 <= probability <= 1.0:
             raise ConfigurationError("drop probability must be in [0, 1]")
-        self._drop_rate[(src, dst)] = probability
+        if probability == 0.0:
+            self._drop_rate.pop((src, dst), None)
+        else:
+            self._drop_rate[(src, dst)] = probability
+        self.obs.emit(self.sim.now, "net.drop_rate", src=src, dst=dst,
+                      probability=probability)
 
     def disconnect(self, node_id: str) -> None:
         """Drop all traffic to and from a node (models link failure)."""
         self._disconnected.add(node_id)
+        self.obs.emit(self.sim.now, "net.disconnect", node=node_id)
 
     def reconnect(self, node_id: str) -> None:
         """Undo :meth:`disconnect`."""
         self._disconnected.discard(node_id)
+        self.obs.emit(self.sim.now, "net.reconnect", node=node_id)
+
+    def clear_faults(self) -> None:
+        """Heal everything: partition, drop rules, and disconnections."""
+        self._partition = None
+        self._drop_rate.clear()
+        self._disconnected.clear()
+        self.obs.emit(self.sim.now, "net.clear_faults")
 
     def _linked(self, src: str, dst: str) -> bool:
         if src in self._disconnected or dst in self._disconnected:
@@ -132,23 +191,36 @@ class Network:
     # ------------------------------------------------------------------
     def send(self, src: str, dst: str, message: Any) -> None:
         """Send ``message`` from ``src`` to ``dst`` with simulated latency."""
-        self.stats.sent += 1
-        self.stats.by_type[type(message).__name__] += 1
+        obs = self.obs
+        payload_type = type(getattr(message, "payload", message)).__name__
+        obs.count("net.sent")
+        obs.count_type("net.msg", payload_type)
         if dst not in self._procs:
-            self.stats.dropped += 1
+            obs.count("net.dropped")
+            obs.emit(self.sim.now, "net.drop", node=src, dst=dst,
+                     msg=payload_type, reason="unknown-destination")
             return
         if not self._linked(src, dst):
-            self.stats.dropped += 1
+            obs.count("net.dropped")
+            obs.emit(self.sim.now, "net.drop", node=src, dst=dst,
+                     msg=payload_type, reason="fault")
             return
         src_region = self._regions.get(src)
         dst_region = self._regions[dst]
         if src_region is None:
             src_region = dst_region
-        if src_region != dst_region:
-            self.stats.wan_sent += 1
+        wan = src_region != dst_region
+        if wan:
+            obs.count("net.wan_sent")
         delay = self.latency.one_way_ms(src_region, dst_region, self._rng)
         target = self._procs[dst]
-        self.stats.delivered += 1
+        obs.count("net.delivered")
+        if obs.enabled:
+            obs.observe("net.latency_ms", delay)
+            if wan:
+                obs.observe("net.wan_latency_ms", delay)
+            obs.emit(self.sim.now, "net.send", node=src, dst=dst,
+                     msg=payload_type, delay_ms=round(delay, 6), wan=wan)
         self.sim.schedule(delay, target.deliver, src, message)
 
     def multicast(self, src: str, dsts: Iterable[str], message: Any) -> None:

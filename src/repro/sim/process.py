@@ -74,6 +74,15 @@ class Process:
         self.messages_handled = 0
         #: Accumulated CPU time (ms) this node has been charged.
         self.cpu_time_ms = 0.0
+        #: Messages accepted but not yet dispatched (instantaneous queue).
+        self.queue_depth = 0
+        #: Instrumentation bus (wired by Network.register / attach).
+        self.obs = None
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated time at which the CPU's current backlog drains."""
+        return self._busy_until
 
     # ------------------------------------------------------------------
     # Delivery path (called by the network)
@@ -86,6 +95,20 @@ class Process:
         self.cpu_time_ms += service
         start = max(self.sim.now, self._busy_until)
         self._busy_until = start + service
+        self.queue_depth += 1
+        obs = self.obs
+        if obs is not None and obs.enabled:
+            payload = getattr(message, "payload", message)
+            queue_ms = start - self.sim.now
+            obs.observe("cpu.queue_ms", queue_ms)
+            obs.observe("cpu.service_ms", service)
+            obs.count_type("proc.handled", type(payload).__name__)
+            if obs.recording:
+                obs.emit(self.sim.now, "proc.deliver", node=self.node_id,
+                         msg=type(payload).__name__, sender=sender,
+                         queue_ms=round(queue_ms, 6),
+                         service_ms=round(service, 6),
+                         depth=self.queue_depth)
         self.sim.at(self._busy_until, self._dispatch, sender, message)
 
     def utilization(self, window_ms: float | None = None) -> float:
@@ -99,6 +122,7 @@ class Process:
         return min(1.0, self.cpu_time_ms / window)
 
     def _dispatch(self, sender: str, message: Any) -> None:
+        self.queue_depth = max(0, self.queue_depth - 1)
         if self.crashed:
             return
         self.messages_handled += 1

@@ -1,5 +1,10 @@
 """Tests for the command-line interface."""
 
+import importlib
+import json
+import tomllib
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -38,6 +43,38 @@ def test_analyze_assignment(capsys):
     out = capsys.readouterr().out
     assert "P[zone unsafe]" in out
     assert "True" in out    # deterministic placement is safe
+
+
+def test_trace_command_writes_exports(tmp_path, capsys):
+    out = tmp_path / "trace.jsonl"
+    chrome = tmp_path / "trace.json"
+    code = main(["trace", "--zones", "3", "--clients", "3",
+                 "--global-fraction", "0.2", "--warmup-ms", "100",
+                 "--measure-ms", "200", "--out", str(out),
+                 "--chrome", str(chrome)])
+    assert code == 0
+    printed = capsys.readouterr().out
+    assert "instrumented point" in printed
+    assert "protocol phase spans" in printed
+    assert "endorse" in printed
+    lines = out.read_text().splitlines()
+    assert json.loads(lines[0])["format"] == "repro-trace"
+    assert json.loads(lines[-1])["type"] == "summary"
+    doc = json.loads(chrome.read_text())
+    phases = {e["ph"] for e in doc["traceEvents"]}
+    assert {"M", "X", "i"} <= phases
+
+
+def test_console_script_entry_point_declared():
+    pyproject = Path(__file__).resolve().parents[1] / "pyproject.toml"
+    with pyproject.open("rb") as handle:
+        config = tomllib.load(handle)
+    assert config["project"]["scripts"]["repro"] == "repro.cli:main"
+    # The declared entry point must resolve and run.
+    module_name, _, attr = config["project"]["scripts"]["repro"].partition(":")
+    entry = getattr(importlib.import_module(module_name), attr)
+    with pytest.raises(SystemExit):
+        entry(["--help"])
 
 
 def test_unknown_protocol_rejected():

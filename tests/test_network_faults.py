@@ -1,0 +1,157 @@
+"""Fault-injection edge cases: heals mid-flight, rule removal, determinism."""
+
+import pytest
+
+from repro.obs import Instrumentation
+from repro.sim.events import Simulator
+from repro.sim.latency import LatencyModel, Region
+from repro.sim.network import Network
+from repro.sim.process import Process
+
+
+class Sink(Process):
+    """Records every delivered message with its arrival time."""
+
+    def __init__(self, sim, node_id):
+        super().__init__(sim, node_id, cost_model=None)
+        self.received = []
+
+    def deliver(self, sender, message):  # bypass CPU model for unit tests
+        self.received.append((self.sim.now, sender, message))
+
+    def on_message(self, sender, message):  # pragma: no cover
+        raise AssertionError("deliver is overridden")
+
+
+def make_net(jitter=0.0, seed=3, obs=None):
+    sim = Simulator()
+    net = Network(sim, LatencyModel(jitter=jitter), seed=seed, obs=obs)
+    return sim, net
+
+
+def pair(net, sim, src_region=Region.CALIFORNIA, dst_region=Region.TOKYO):
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.register(a, src_region)
+    net.register(b, dst_region)
+    return a, b
+
+
+def test_partition_heal_mid_flight_keeps_in_flight_messages():
+    # Link rules apply at *send* time: a message sent before the
+    # partition still arrives, and healing does not resurrect messages
+    # dropped while partitioned.
+    sim, net = make_net()
+    a, b = pair(net, sim)  # ~53 ms one-way WAN latency
+    net.send("a", "b", "pre-partition")
+    sim.run(until=1.0)
+    assert b.received == []          # still in flight
+    net.set_partition([{"a"}, {"b"}])
+    net.send("a", "b", "while-partitioned")
+    sim.run(until=30.0)
+    net.set_partition(None)          # heal while "pre-partition" in flight
+    net.send("a", "b", "post-heal")
+    sim.run()
+    got = [m for _, _, m in b.received]
+    assert got == ["pre-partition", "post-heal"]
+    assert net.stats.dropped == 1
+
+
+def test_disconnect_reconnect_preserves_delivery_ordering():
+    sim, net = make_net()
+    a, b = pair(net, sim, Region.OHIO, Region.OHIO)
+    net.send("a", "b", 1)
+    net.disconnect("b")
+    net.send("a", "b", 2)            # dropped at send time
+    net.reconnect("b")
+    net.send("a", "b", 3)
+    sim.run()
+    # Same link, no jitter: delivery order of survivors matches send order.
+    assert [m for _, _, m in b.received] == [1, 3]
+    times = [t for t, _, _ in b.received]
+    assert times == sorted(times)
+
+
+def test_drop_rate_one_blackholes_link():
+    sim, net = make_net()
+    a, b = pair(net, sim, Region.OHIO, Region.OHIO)
+    net.set_drop_rate("a", "b", 1.0)
+    for i in range(20):
+        net.send("a", "b", i)
+    # Reverse direction is unaffected.
+    net.send("b", "a", "up")
+    sim.run()
+    assert b.received == []
+    assert [m for _, _, m in a.received] == ["up"]
+    assert net.stats.dropped == 20
+
+
+def test_drop_rate_zero_removes_rule_and_rng_draw():
+    sim, net = make_net()
+    a, b = pair(net, sim, Region.OHIO, Region.OHIO)
+    net.set_drop_rate("a", "b", 0.9)
+    assert ("a", "b") in net._drop_rate
+    net.set_drop_rate("a", "b", 0.0)
+    assert ("a", "b") not in net._drop_rate
+    # With the rule gone there is no per-message RNG draw, so the
+    # delivery schedule matches a network that never had the rule.
+    state_before = net._rng.getstate()
+    net.send("a", "b", "x")
+    assert net._rng.getstate() == state_before
+    sim.run()
+    assert [m for _, _, m in b.received] == ["x"]
+
+
+def test_clear_faults_heals_everything():
+    sim, net = make_net()
+    a, b = pair(net, sim, Region.OHIO, Region.OHIO)
+    net.set_partition([{"a"}, {"b"}])
+    net.set_drop_rate("a", "b", 1.0)
+    net.disconnect("b")
+    net.clear_faults()
+    assert net._partition is None
+    assert net._drop_rate == {}
+    assert net._disconnected == set()
+    net.send("a", "b", "ok")
+    sim.run()
+    assert [m for _, _, m in b.received] == ["ok"]
+
+
+def test_fault_events_recorded_on_bus():
+    obs = Instrumentation(recording=True)
+    sim, net = make_net(obs=obs)
+    pair(net, sim, Region.OHIO, Region.OHIO)
+    net.set_partition([{"a"}, {"b"}])
+    net.set_drop_rate("a", "b", 0.5)
+    net.disconnect("b")
+    net.reconnect("b")
+    net.clear_faults()
+    kinds = [e.kind for e in obs.events]
+    assert kinds == ["net.partition", "net.drop_rate", "net.disconnect",
+                     "net.reconnect", "net.clear_faults"]
+
+
+def _stats_run(seed):
+    sim, net = make_net(jitter=0.1, seed=seed)
+    nodes = {name: Sink(sim, name) for name in "abcd"}
+    regions = [Region.CALIFORNIA, Region.OHIO, Region.TOKYO, Region.PARIS]
+    for node, region in zip(nodes.values(), regions):
+        net.register(node, region)
+    net.set_drop_rate("a", "b", 0.5)
+    for i in range(40):
+        net.send("a", "b", i)
+        net.send("b", "c", i)
+        net.send("c", "d", i)
+    sim.run()
+    return net.stats.snapshot(), dict(net.stats.by_type)
+
+
+def test_network_stats_deterministic_across_identical_seeds():
+    stats1, types1 = _stats_run(11)
+    stats2, types2 = _stats_run(11)
+    assert stats1 == stats2
+    assert types1 == types2
+    assert stats1["sent"] == 120
+    assert stats1["dropped"] > 0
+    assert stats1["delivered"] == stats1["sent"] - stats1["dropped"]
+    stats3, _ = _stats_run(12)
+    assert stats3["dropped"] != stats1["dropped"] or stats3 != stats1

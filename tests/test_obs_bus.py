@@ -1,0 +1,198 @@
+"""Tests for the instrumentation bus (counters, histograms, spans, export)."""
+
+import json
+
+import pytest
+
+from repro.obs import (Instrumentation, chrome_trace, trace_jsonl)
+from repro.obs.hist import Histogram
+
+
+# ----------------------------------------------------------------------
+# Counters (tier 1: always on)
+# ----------------------------------------------------------------------
+def test_counters_live_even_when_disabled():
+    obs = Instrumentation()
+    assert not obs.enabled and not obs.recording
+    obs.count("net.sent")
+    obs.count("net.sent", 2)
+    obs.count_type("net.msg", "Signed")
+    assert obs.value("net.sent") == 3
+    assert obs.value("never.touched") == 0
+    assert obs.type_counters["net.msg"]["Signed"] == 1
+
+
+def test_histograms_and_spans_gated_on_enabled():
+    obs = Instrumentation(enabled=False)
+    obs.observe("x", 1.0)
+    obs.span_open(0.0, "endorse", "k", node="n0")
+    assert obs.histogram("x") is None
+    assert obs.span_close(5.0, "endorse", "k", node="n0") is None
+    assert obs.open_span_count() == 0
+
+
+def test_events_gated_on_recording():
+    obs = Instrumentation(enabled=True, recording=False)
+    obs.emit(1.0, "net.send", node="n0")
+    assert obs.events == []
+    obs.observe("x", 2.0)
+    assert obs.histogram("x").count == 1  # enabled tier still works
+
+
+def test_recording_implies_enabled():
+    obs = Instrumentation(recording=True)
+    assert obs.enabled
+
+
+# ----------------------------------------------------------------------
+# Spans
+# ----------------------------------------------------------------------
+def test_span_open_close_records_duration_and_histogram():
+    obs = Instrumentation(recording=True)
+    obs.span_open(10.0, "endorse", "inst-1", node="z0n0", batch=3)
+    duration = obs.span_close(14.5, "endorse", "inst-1", node="z0n0",
+                              shares=3)
+    assert duration == pytest.approx(4.5)
+    assert obs.value("spans.endorse") == 1
+    hist = obs.histogram("span.endorse")
+    assert hist.count == 1 and hist.mean == pytest.approx(4.5)
+    (span,) = obs.spans
+    assert span.phase == "endorse" and span.key == "inst-1"
+    assert span.node == "z0n0"
+    assert span.duration_ms == pytest.approx(4.5)
+    # Open-time and close-time fields merge into the record.
+    assert span.fields == {"batch": 3, "shares": 3}
+
+
+def test_span_close_without_open_is_noop():
+    obs = Instrumentation(enabled=True)
+    assert obs.span_close(5.0, "pbft", "v0.s1", node="n0") is None
+    assert obs.value("spans.pbft") == 0
+
+
+def test_spans_keyed_per_node():
+    obs = Instrumentation(enabled=True)
+    obs.span_open(0.0, "pbft", "v0.s1", node="a")
+    obs.span_open(1.0, "pbft", "v0.s1", node="b")
+    assert obs.open_span_count() == 2
+    assert obs.span_close(3.0, "pbft", "v0.s1", node="b") == pytest.approx(2.0)
+    assert obs.span_close(4.0, "pbft", "v0.s1", node="a") == pytest.approx(4.0)
+
+
+def test_event_cap_drops_and_counts():
+    obs = Instrumentation(recording=True, max_events=2)
+    for i in range(4):
+        obs.emit(float(i), "k")
+    assert len(obs.events) == 2
+    assert obs.dropped_events == 2
+
+
+# ----------------------------------------------------------------------
+# Histogram
+# ----------------------------------------------------------------------
+def test_histogram_statistics():
+    hist = Histogram()
+    for value in (1.0, 2.0, 3.0, 4.0):
+        hist.record(value)
+    assert hist.count == 4
+    assert hist.mean == pytest.approx(2.5)
+    assert hist.min == 1.0 and hist.max == 4.0
+    assert 1.0 <= hist.percentile(0.5) <= 4.0
+    snap = hist.snapshot()
+    assert snap["count"] == 4 and snap["mean"] == pytest.approx(2.5)
+
+
+def test_histogram_clamps_negative_and_empty():
+    hist = Histogram()
+    assert hist.percentile(0.5) == 0.0
+    hist.record(-5.0)
+    assert hist.min == 0.0 and hist.count == 1
+
+
+def test_phase_stats_only_covers_spans():
+    obs = Instrumentation(enabled=True)
+    obs.observe("cpu.queue_ms", 1.0)
+    obs.span_open(0.0, "accept", "1.z0", node="n")
+    obs.span_close(2.0, "accept", "1.z0", node="n")
+    stats = obs.phase_stats()
+    assert list(stats) == ["accept"]
+    assert stats["accept"]["count"] == 1
+
+
+# ----------------------------------------------------------------------
+# Export
+# ----------------------------------------------------------------------
+def _tiny_bus():
+    obs = Instrumentation(recording=True)
+    obs.count("net.sent", 2)
+    obs.emit(1.0, "net.send", node="a", dst="b", msg="Signed")
+    obs.span_open(2.0, "endorse", "i", node="a")
+    obs.span_close(6.0, "endorse", "i", node="a")
+    return obs
+
+
+def test_trace_jsonl_structure():
+    lines = trace_jsonl(_tiny_bus()).splitlines()
+    records = [json.loads(line) for line in lines]
+    assert records[0]["type"] == "meta"
+    assert records[0]["format"] == "repro-trace"
+    kinds = [r["type"] for r in records]
+    assert kinds == ["meta", "event", "span", "summary"]
+    assert records[1]["kind"] == "net.send" and records[1]["dst"] == "b"
+    assert records[2]["phase"] == "endorse"
+    assert records[2]["dur"] == pytest.approx(4.0)
+    assert records[3]["counters"]["net.sent"] == 2
+
+
+def test_trace_jsonl_is_sorted_and_compact():
+    text = trace_jsonl(_tiny_bus())
+    for line in text.splitlines():
+        parsed = json.loads(line)
+        assert json.dumps(parsed, sort_keys=True,
+                          separators=(",", ":"), default=str) == line
+
+
+def test_chrome_trace_structure():
+    doc = chrome_trace(_tiny_bus())
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+    assert metas and spans and instants
+    (span,) = spans
+    # Simulated ms map to trace µs.
+    assert span["ts"] == pytest.approx(2000.0)
+    assert span["dur"] == pytest.approx(4000.0)
+    assert span["name"] == "endorse"
+
+
+def test_attach_merges_preexisting_counters():
+    from repro.sim.events import Simulator
+    from repro.sim.latency import LatencyModel, Region
+    from repro.sim.network import Network
+    from repro.sim.process import Process
+
+    class Sink(Process):
+        def on_message(self, sender, message):
+            pass
+
+    sim = Simulator()
+    net = Network(sim, LatencyModel(), seed=1)
+    a, b = Sink(sim, "a"), Sink(sim, "b")
+    net.register(a, Region.OHIO)
+    net.register(b, Region.OHIO)
+    net.send("a", "b", "hello")
+    before = net.stats.sent
+
+    class Deployment:
+        pass
+
+    dep = Deployment()
+    dep.sim, dep.network = sim, net
+    obs = Instrumentation(enabled=True).attach(dep)
+    assert net.obs is obs and sim.obs is obs
+    assert a.obs is obs and b.obs is obs
+    # Pre-attachment traffic stays visible through the stats view.
+    assert net.stats.sent == before
+    net.send("a", "b", "again")
+    assert net.stats.sent == before + 1
