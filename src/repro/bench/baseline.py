@@ -1,0 +1,96 @@
+"""Performance-trajectory baseline: seed, store, and check.
+
+``write_baseline`` runs a fixed-seed smoke subset of the Figure 4 sweep
+(every protocol at two client counts) and records throughput / latency /
+violation counts in ``BENCH_baseline.json``. ``check_baseline`` re-runs
+the same subset and returns a list of regression descriptions — empty
+when every point is within tolerance, throughput did not drop by more
+than ``tolerance`` (relative), mean latency did not rise by more than
+``tolerance``, and the conformance monitor stayed clean.
+
+The DES is deterministic for a fixed seed, so on identical code the
+re-measurement matches the stored numbers exactly; the 25% default
+tolerance is headroom for intentional algorithmic changes, which should
+refresh the baseline (``repro bench-baseline``) in the same commit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.runner import PROTOCOLS, PointSpec, run_point
+
+__all__ = ["BASELINE_PATH", "SMOKE_SPECS", "check_baseline",
+           "measure_points", "write_baseline"]
+
+BASELINE_PATH = "BENCH_baseline.json"
+
+#: Fig4-shaped smoke subset: all four protocols, light + moderate load.
+SMOKE_SPECS: tuple[PointSpec, ...] = tuple(
+    PointSpec(protocol=protocol, num_zones=3, clients_per_zone=clients,
+              global_fraction=0.1, warmup_ms=200.0, measure_ms=400.0,
+              seed=1)
+    for protocol in PROTOCOLS
+    for clients in (10, 40))
+
+
+def _key(spec: PointSpec) -> str:
+    return (f"{spec.protocol}/z{spec.num_zones}/c{spec.clients_per_zone}"
+            f"/g{int(spec.global_fraction * 100)}")
+
+
+def measure_points(specs=SMOKE_SPECS) -> dict:
+    """Run the smoke subset and return the baseline document."""
+    points = {}
+    for spec in specs:
+        result = run_point(spec)
+        metrics = result.metrics
+        points[_key(spec)] = {
+            "tput_tps": round(metrics.throughput_tps, 3),
+            "lat_ms": round(metrics.latency_mean_ms, 3),
+            "p95_ms": round(metrics.latency_p95_ms, 3),
+            "completed": metrics.completed,
+            "violations": metrics.violations or 0,
+        }
+    return {"format": "repro-bench-baseline", "version": 1, "seed": 1,
+            "points": points}
+
+
+def write_baseline(path: str | Path = BASELINE_PATH,
+                   specs=SMOKE_SPECS) -> Path:
+    """Measure and write the baseline JSON; returns the path."""
+    path = Path(path)
+    document = measure_points(specs)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def check_baseline(path: str | Path = BASELINE_PATH,
+                   tolerance: float = 0.25,
+                   specs=SMOKE_SPECS) -> list[str]:
+    """Re-measure and compare; returns regression messages (empty = OK)."""
+    stored = json.loads(Path(path).read_text())
+    baseline_points = stored.get("points", {})
+    current = measure_points(specs)["points"]
+    problems: list[str] = []
+    for key, now in current.items():
+        if now["violations"]:
+            problems.append(f"{key}: {now['violations']} conformance "
+                            "violation(s) in the current run")
+        base = baseline_points.get(key)
+        if base is None:
+            problems.append(f"{key}: missing from baseline "
+                            "(run `repro bench-baseline` to refresh)")
+            continue
+        floor = base["tput_tps"] * (1.0 - tolerance)
+        if now["tput_tps"] < floor:
+            problems.append(
+                f"{key}: throughput regressed {base['tput_tps']:.1f} -> "
+                f"{now['tput_tps']:.1f} tps (floor {floor:.1f})")
+        ceiling = base["lat_ms"] * (1.0 + tolerance)
+        if base["lat_ms"] > 0 and now["lat_ms"] > ceiling:
+            problems.append(
+                f"{key}: latency regressed {base['lat_ms']:.2f} -> "
+                f"{now['lat_ms']:.2f} ms (ceiling {ceiling:.2f})")
+    return problems

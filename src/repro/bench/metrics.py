@@ -53,6 +53,8 @@ class Metrics:
     #: Per-phase mean latency columns (ms), populated when an
     #: instrumentation bus was attached to the run; empty otherwise.
     phase_breakdown: dict[str, float] = field(default_factory=dict)
+    #: Conformance-monitor violation count; None when no monitor ran.
+    violations: int | None = None
 
     def row(self) -> dict[str, float]:
         """Flat dict for report tables."""
@@ -65,6 +67,8 @@ class Metrics:
         }
         for name, value in self.phase_breakdown.items():
             out[name] = round(value, 3)
+        if self.violations is not None:
+            out["viol"] = self.violations
         return out
 
 
@@ -97,12 +101,13 @@ def phase_breakdown(obs) -> dict[str, float]:
 
 
 def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
-                    end_ms: float, obs=None) -> Metrics:
+                    end_ms: float, obs=None, monitor=None) -> Metrics:
     """Aggregate records completed in the measurement window.
 
     Throughput is completions per second over ``[warmup_ms, end_ms)``;
     latencies are per-request end-to-end times. ``obs``, if given, is an
     enabled instrumentation bus whose spans yield the per-phase columns.
+    ``monitor``, if given, contributes its violation count.
     """
     window = [r for r in records
               if warmup_ms <= r.completed_at < end_ms]
@@ -126,4 +131,5 @@ def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
         local_latency_ms=mean([r.latency_ms for r in locals_]),
         global_latency_ms=mean([r.latency_ms for r in globals_]),
         phase_breakdown=phase_breakdown(obs) if obs is not None else {},
+        violations=len(monitor.violations) if monitor is not None else None,
     )

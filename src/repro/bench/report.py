@@ -17,7 +17,9 @@ def format_table(rows: Iterable[dict], title: str = "") -> str:
     rows = list(rows)
     if not rows:
         return f"{title}\n(no data)"
-    columns = list(rows[0].keys())
+    # Union of all rows' keys, in first-seen order: a column present only
+    # in later rows (e.g. a violation count) must still be rendered.
+    columns = list(dict.fromkeys(key for row in rows for key in row))
     widths = {c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows))
               for c in columns}
     lines = []

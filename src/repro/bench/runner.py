@@ -25,6 +25,7 @@ from repro.core.migration_protocol import MigrationConfig
 from repro.core.sync_protocol import SyncConfig
 from repro.errors import ConfigurationError
 from repro.obs.bus import Instrumentation
+from repro.obs.monitor import MonitorConfig, ProtocolMonitor
 from repro.pbft.replica import PBFTConfig
 from repro.workload.driver import ClosedLoopDriver
 from repro.workload.generator import WorkloadMix
@@ -78,6 +79,11 @@ class PointSpec:
     record_trace: bool = False
     #: Queue-depth / utilization sampling cadence (0 disables sampling).
     sample_interval_ms: float = 25.0
+    #: Always-on protocol conformance monitor (cheap tier): invariant
+    #: checkers fed from the bus; violation counts join the metrics row.
+    monitor: bool = True
+    #: Watchdog threshold for the monitor's liveness checker.
+    stall_timeout_ms: float = 10_000.0
 
 
 @dataclass
@@ -86,8 +92,11 @@ class PointResult:
 
     spec: PointSpec
     metrics: Metrics
-    #: The instrumentation bus of the run (None unless ``instrument``).
+    #: The instrumentation bus of the run (None unless the point was
+    #: instrumented, recorded, or monitored).
     obs: object | None = None
+    #: The finished conformance monitor (None unless ``spec.monitor``).
+    monitor: object | None = None
 
     def row(self) -> dict:
         """Flat dict row for report tables."""
@@ -166,10 +175,19 @@ def run_point(spec: PointSpec) -> PointResult:
     """Run one experiment point and return its metrics."""
     deployment = _build(spec)
     obs = None
-    if spec.instrument or spec.record_trace:
-        obs = Instrumentation(enabled=True, recording=spec.record_trace)
+    monitor = None
+    instrumented = spec.instrument or spec.record_trace
+    if instrumented or spec.monitor:
+        # Monitor-only points skip the histogram/span tier (``metrics``):
+        # the checkers ride on emit() alone, keeping always-on cheap.
+        obs = Instrumentation(enabled=True, recording=spec.record_trace,
+                              metrics=instrumented)
         obs.attach(deployment)
-        if spec.sample_interval_ms > 0:
+        if spec.monitor:
+            monitor = ProtocolMonitor.attach(
+                obs, deployment,
+                config=MonitorConfig(stall_timeout_ms=spec.stall_timeout_ms))
+        if instrumented and spec.sample_interval_ms > 0:
             obs.start_sampler(deployment,
                               interval_ms=spec.sample_interval_ms)
     driver = ClosedLoopDriver(deployment, _mix(spec),
@@ -179,6 +197,14 @@ def run_point(spec: PointSpec) -> PointResult:
     driver.start()
     end_ms = spec.warmup_ms + spec.measure_ms
     deployment.sim.run(until=end_ms)
+    if monitor is not None:
+        monitor.finish(end_ms)
+    if obs is not None:
+        obs.end_ms = end_ms
+    # Phase-breakdown columns only when explicitly instrumented, so the
+    # default (monitor-only) rows keep their compact shape.
     metrics = compute_metrics(driver.records, spec.warmup_ms, end_ms,
-                              obs=obs)
-    return PointResult(spec=spec, metrics=metrics, obs=obs)
+                              obs=obs if instrumented else None,
+                              monitor=monitor)
+    return PointResult(spec=spec, metrics=metrics, obs=obs,
+                       monitor=monitor)

@@ -20,8 +20,11 @@ from typing import Sequence
 from repro.analysis.assignment import analyze_assignment
 from repro.bench.report import format_table
 from repro.bench.runner import PROTOCOLS, PointSpec, run_point
+from repro.errors import ConfigurationError
 
 __all__ = ["main", "build_parser"]
+
+FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -29,6 +32,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Ziziphus (ICDE 2023) reproduction harness")
+    from repro import __version__
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     point = sub.add_parser("point", help="run one experiment point")
@@ -40,8 +46,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_point_args(compare)
 
     figure = sub.add_parser("figure", help="regenerate one paper figure")
-    figure.add_argument("name", choices=["fig4", "fig5", "fig6", "fig7",
-                                         "fig8"])
+    # Validated in main() (not via argparse choices) so an unknown name
+    # gets a one-line hint listing the valid figures instead of usage spam.
+    figure.add_argument("name", metavar="NAME",
+                        help=f"one of: {', '.join(FIGURES)}")
 
     assignment = sub.add_parser(
         "analyze-assignment",
@@ -63,6 +71,33 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sample-interval-ms", type=float, default=25.0,
                        help="queue-depth/utilization sampling cadence "
                             "(0 disables)")
+
+    audit = sub.add_parser(
+        "audit",
+        help="replay an exported JSONL trace through the protocol "
+             "conformance monitor and print a forensic report")
+    audit.add_argument("trace", metavar="TRACE",
+                       help="JSONL trace file (from `repro trace --out`)")
+    audit.add_argument("--report", default=None, metavar="PATH",
+                       help="also write the forensic report JSON here")
+    audit.add_argument("--stall-timeout-ms", type=float, default=10_000.0,
+                       help="liveness watchdog threshold")
+
+    baseline = sub.add_parser(
+        "bench-baseline",
+        help="run the fixed-seed smoke subset and write the performance "
+             "baseline (BENCH_baseline.json)")
+    baseline.add_argument("--out", default="BENCH_baseline.json",
+                          metavar="PATH")
+
+    check = sub.add_parser(
+        "bench-check",
+        help="re-run the smoke subset and fail on regression vs the "
+             "stored baseline")
+    check.add_argument("--baseline", default="BENCH_baseline.json",
+                       metavar="PATH")
+    check.add_argument("--tolerance", type=float, default=0.25,
+                       help="allowed relative regression (default 0.25)")
     return parser
 
 
@@ -117,6 +152,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
 
     if args.command == "figure":
+        if args.name not in FIGURES:
+            print(f"repro figure: unknown figure {args.name!r}; "
+                  f"valid names are: {', '.join(FIGURES)}", file=sys.stderr)
+            return 2
         from repro.bench import experiments
         runner = {
             "fig4": experiments.fig4_fig5_sweep,
@@ -127,6 +166,48 @@ def main(argv: Sequence[str] | None = None) -> int:
         }[args.name]
         results = runner()
         print(format_table([_row(r) for r in results], title=args.name))
+        return 0
+
+    if args.command == "audit":
+        from pathlib import Path
+
+        from repro.obs.monitor import MonitorConfig
+        from repro.obs.report import audit_trace, format_report
+        trace_path = Path(args.trace)
+        if not trace_path.is_file():
+            print(f"repro audit: trace file not found: {trace_path}",
+                  file=sys.stderr)
+            return 2
+        monitor = audit_trace(
+            trace_path,
+            config=MonitorConfig(stall_timeout_ms=args.stall_timeout_ms))
+        report = monitor.report()
+        print(format_report(report))
+        if args.report:
+            Path(args.report).write_text(monitor.report_json() + "\n")
+            print(f"\nforensic report: {args.report}", file=sys.stderr)
+        return 0 if monitor.clean else 3
+
+    if args.command == "bench-baseline":
+        from repro.bench.baseline import write_baseline
+        path = write_baseline(args.out)
+        print(f"baseline written: {path}")
+        return 0
+
+    if args.command == "bench-check":
+        from pathlib import Path
+
+        from repro.bench.baseline import check_baseline
+        if not Path(args.baseline).is_file():
+            print(f"repro bench-check: baseline not found: {args.baseline} "
+                  "(run `repro bench-baseline` first)", file=sys.stderr)
+            return 2
+        problems = check_baseline(args.baseline, tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("bench-check: all points within tolerance")
         return 0
 
     if args.command == "trace":

@@ -233,7 +233,15 @@ class ClusterEngine:
         src_zone = self._src_orderer(txn.request_env.payload)
         body = commit_body(prepared.src_ballot, prepared.src_prev_ballot,
                            self._body_digest(txn.request_env.payload))
-        if not self.directory.cert_valid(prepared.cert, body, src_zone):
+        valid = self.directory.cert_valid(prepared.cert, body, src_zone)
+        obs = self._obs()
+        if obs is not None:
+            obs.emit_cert(self.node.sim.now, self.node.node_id,
+                          "cross-prepared", src_zone, prepared.cert, valid,
+                          src=sender,
+                          ref=f"{prepared.src_ballot.seq}."
+                              f"{prepared.src_ballot.zone_id}")
+        if not valid:
             return
         txn.prepared = prepared
         txn.src_ballot = prepared.src_ballot
@@ -283,8 +291,16 @@ class ClusterEngine:
             return
         body = accept_body(cross.dst_ballot, cross.dst_prev_ballot,
                            self._body_digest(request))
-        if not self.directory.cert_valid(cross.cert, body,
-                                         self._dst_orderer(request)):
+        dst_zone = self._dst_orderer(request)
+        valid = self.directory.cert_valid(cross.cert, body, dst_zone)
+        obs = self._obs()
+        if obs is not None:
+            obs.emit_cert(self.node.sim.now, self.node.node_id,
+                          "cross-propose", dst_zone, cross.cert, valid,
+                          src=sender,
+                          ref=f"{cross.dst_ballot.seq}."
+                              f"{cross.dst_ballot.zone_id}")
+        if not valid:
             return
         request_digest = digest(request)
         txn = self._txn_for(request_digest, cross.request)
@@ -364,7 +380,13 @@ class ClusterEngine:
                                   commit.cert_src)
             foreign = commit.dst_ballot
         body = commit_body(ballot, prev, self._body_digest(request))
-        if not self.directory.cert_valid(cert, body, ballot.zone_id):
+        valid = self.directory.cert_valid(cert, body, ballot.zone_id)
+        obs = self._obs()
+        if obs is not None:
+            obs.emit_cert(self.node.sim.now, self.node.node_id,
+                          "cross-commit", ballot.zone_id, cert, valid,
+                          src=sender, ref=f"{ballot.seq}.{ballot.zone_id}")
+        if not valid:
             return
         txn = self._txn_for(request_digest, commit.request)
         txn.dst_ballot, txn.dst_prev = commit.dst_ballot, commit.dst_prev_ballot

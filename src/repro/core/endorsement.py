@@ -71,6 +71,7 @@ class EndorsementManager:
         self.others = tuple(m for m in zone_members if m != host.node_id)
         self.f = f
         self.quorum = 2 * f + 1
+        self._members_key = ",".join(self.members)
         self.view_provider = view_provider
         self.use_threshold = use_threshold
         self._instances: dict[str, EndorsementInstance] = {}
@@ -192,6 +193,17 @@ class EndorsementManager:
                         envelope: Signed) -> None:
         if sender != self.primary():
             return
+        obs = self._obs()
+        if obs is not None:
+            # Claimed digest as observed by this receiver: an endorsement
+            # primary sending different digests to different members never
+            # collects a divergent certificate, so the conformance monitor
+            # detects the equivocation here.
+            obs.emit(self.host.sim.now, "endorse.preprepare",
+                     node=self.host.node_id, sender=sender,
+                     instance=msg.instance, view=msg.view,
+                     digest=msg.endorse_digest.hex(),
+                     members=self._members_key)
         state = self._get(msg.instance)
         if state.payload is not None and state.endorse_digest != msg.endorse_digest:
             return  # conflicting pre-prepare; refuse to endorse both

@@ -188,7 +188,9 @@ class MigrationEngine:
                            records=len(records))
             obs.emit(self.node.sim.now, "migration.state_sent",
                      node=self.node.node_id, client=request.sender,
-                     dest=request.dest_zone, records=len(records))
+                     dest=request.dest_zone, records=len(records),
+                     ballot=f"{ballot.seq}.{ballot.zone_id}",
+                     records_digest=digest(records).hex())
         dest_nodes = self.directory.zone(request.dest_zone).members
         for dst in dest_nodes:
             self.node.forward(dst, env)
@@ -228,7 +230,14 @@ class MigrationEngine:
         if source_zone is None:
             return
         body = state_body(state.ballot, state.client_id, state.records_digest)
-        if not self.directory.cert_valid(state.cert, body, source_zone):
+        valid = self.directory.cert_valid(state.cert, body, source_zone)
+        obs = self._obs()
+        if obs is not None:
+            obs.emit_cert(self.node.sim.now, self.node.node_id, "state",
+                          source_zone, state.cert, valid, src=sender,
+                          ref=f"{state.ballot.seq}.{state.ballot.zone_id}"
+                              f"/{state.client_id}")
+        if not valid:
             return
         self._state_envs.setdefault(key, envelope)
         instance = self._instance("append", state.ballot, state.client_id)
@@ -273,6 +282,12 @@ class MigrationEngine:
             obs.span_close(self.node.sim.now, "migration-copy",
                            self._span_key(*key), node=self.node.node_id,
                            records=len(context.records))
+            ballot = context.ballot
+            obs.emit(self.node.sim.now, "migration.applied",
+                     node=self.node.node_id, client=context.client_id,
+                     ballot=f"{ballot.seq}.{ballot.zone_id}",
+                     records=len(context.records),
+                     records_digest=context.records_digest.hex())
         self.node.app.import_client(context.client_id, context.records)
         self.node.locks.mark_current(context.client_id)
         self.migrations_applied += 1

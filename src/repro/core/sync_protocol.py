@@ -227,6 +227,14 @@ class SyncEngine:
     def _bkey(ballot: Ballot) -> str:
         return f"{ballot.seq}.{ballot.zone_id}"
 
+    def _emit_cert(self, msg: str, zone_id: str, cert, valid: bool,
+                   src: str, ref: str) -> None:
+        """Report a certificate check to the conformance monitor."""
+        obs = self._obs()
+        if obs is not None:
+            obs.emit_cert(self.host.sim.now, self.node.node_id, msg,
+                          zone_id, cert, valid, src=src, ref=ref)
+
     def _txn(self, ballot: Ballot) -> GlobalTxnState:
         txn = self.txns.get(ballot)
         if txn is None:
@@ -353,7 +361,7 @@ class SyncEngine:
                           node=self.node.node_id, batch=len(batch))
             obs.emit(self.host.sim.now, "sync.start",
                      node=self.node.node_id, ballot=self._bkey(ballot),
-                     batch=len(batch))
+                     batch=len(batch), stable=self.config.stable_leader)
         if self.config.checkpoint_on_migration:
             self.node.replica.checkpoints.generate(
                 self.node.replica.last_executed)
@@ -437,8 +445,11 @@ class SyncEngine:
     def _on_propose(self, sender: str, propose: Propose,
                     envelope: Signed) -> None:
         body = propose_body(propose.ballot, batch_digest(propose.requests))
-        if not self.directory.cert_valid(propose.cert, body,
-                                         propose.ballot.zone_id):
+        valid = self.directory.cert_valid(propose.cert, body,
+                                          propose.ballot.zone_id)
+        self._emit_cert("propose", propose.ballot.zone_id, propose.cert,
+                        valid, sender, self._bkey(propose.ballot))
+        if not valid:
             return
         if propose.ballot.seq <= self.highest_seen and \
                 propose.ballot not in self.txns:
@@ -476,6 +487,11 @@ class SyncEngine:
                           request_digest=txn.request_digest, cert=cert,
                           sender=self.node.node_id)
         txn.phase = "promised"
+        obs = self._obs()
+        if obs is not None:
+            obs.emit(self.host.sim.now, "sync.promise",
+                     node=self.node.node_id, ballot=self._bkey(ballot),
+                     zone=self.my_zone.zone_id)
         initiator_nodes = self.directory.zone(ballot.zone_id).members
         self.host.multicast_signed(initiator_nodes, promise)
 
@@ -513,7 +529,11 @@ class SyncEngine:
             return
         body = promise_body(promise.ballot, promise.prev_ballot,
                             promise.zone_id, promise.request_digest)
-        if not self.directory.cert_valid(promise.cert, body, promise.zone_id):
+        valid = self.directory.cert_valid(promise.cert, body,
+                                          promise.zone_id)
+        self._emit_cert("promise", promise.zone_id, promise.cert, valid,
+                        sender, self._bkey(promise.ballot))
+        if not valid:
             return
         txn = self._txn(promise.ballot)
         txn.promises[promise.zone_id] = envelope
@@ -620,8 +640,11 @@ class SyncEngine:
                    envelope: Signed) -> None:
         body = accept_body(accept.ballot, accept.prev_ballot,
                            accept.request_digest)
-        if not self.directory.cert_valid(accept.cert, body,
-                                         accept.ballot.zone_id):
+        valid = self.directory.cert_valid(accept.cert, body,
+                                          accept.ballot.zone_id)
+        self._emit_cert("accept", accept.ballot.zone_id, accept.cert,
+                        valid, sender, self._bkey(accept.ballot))
+        if not valid:
             return
         rival = self.accepted_seqs.get(accept.ballot.seq)
         if rival is not None and rival != accept.ballot.zone_id:
@@ -670,6 +693,11 @@ class SyncEngine:
                             request_digest=txn.request_digest, cert=cert,
                             checkpoint=self._my_checkpoint_ref(),
                             sender=self.node.node_id)
+        obs = self._obs()
+        if obs is not None:
+            obs.emit(self.host.sim.now, "sync.accepted",
+                     node=self.node.node_id, ballot=self._bkey(ballot),
+                     zone=self.my_zone.zone_id)
         initiator_nodes = self.directory.zone(ballot.zone_id).members
         self.host.multicast_signed(initiator_nodes, accepted)
         self._arm_commit_timer(txn)
@@ -716,8 +744,11 @@ class SyncEngine:
             return
         body = accepted_body(accepted.ballot, accepted.prev_ballot,
                              accepted.zone_id, accepted.request_digest)
-        if not self.directory.cert_valid(accepted.cert, body,
-                                         accepted.zone_id):
+        valid = self.directory.cert_valid(accepted.cert, body,
+                                          accepted.zone_id)
+        self._emit_cert("accepted", accepted.zone_id, accepted.cert,
+                        valid, sender, self._bkey(accepted.ballot))
+        if not valid:
             return
         txn = self._txn(accepted.ballot)
         txn.accepteds[accepted.zone_id] = envelope
@@ -822,8 +853,11 @@ class SyncEngine:
                    envelope: Signed) -> None:
         request_digest = batch_digest(commit.requests)
         body = commit_body(commit.ballot, commit.prev_ballot, request_digest)
-        if not self.directory.cert_valid(commit.cert, body,
-                                         commit.ballot.zone_id):
+        valid = self.directory.cert_valid(commit.cert, body,
+                                          commit.ballot.zone_id)
+        self._emit_cert("commit", commit.ballot.zone_id, commit.cert,
+                        valid, sender, self._bkey(commit.ballot))
+        if not valid:
             return
         if not self._valid_batch(commit.requests):
             return
@@ -834,10 +868,12 @@ class SyncEngine:
         obs = self._obs()
         if obs is not None:
             obs.count("sync.committed")
+            prev = "" if commit.prev_ballot == GENESIS_BALLOT else \
+                self._bkey(commit.prev_ballot)
             obs.emit(self.host.sim.now, "sync.commit",
                      node=self.node.node_id,
                      ballot=self._bkey(commit.ballot),
-                     batch=len(commit.requests))
+                     batch=len(commit.requests), prev=prev)
         txn.commit_env = envelope
         txn.batch = commit.requests
         txn.request_digest = request_digest
@@ -896,6 +932,15 @@ class SyncEngine:
                 outcome = self.node.metadata.apply_migration(
                     request.sender, request.source_zone, request.dest_zone,
                     adopt_source=adopt)
+                if obs is not None:
+                    obs.emit(self.host.sim.now, "migration.executed",
+                             node=self.node.node_id,
+                             ballot=self._bkey(ballot),
+                             client=request.sender,
+                             req_ts=request.timestamp,
+                             source=outcome.source_zone,
+                             dest=request.dest_zone,
+                             accepted=bool(outcome.accepted))
                 results[request.sender] = outcome.as_result()
                 self.node.on_global_executed(ballot, request, outcome)
                 if is_initiator:

@@ -25,12 +25,21 @@ from repro.obs.events import (PHASE_ACCEPT, PHASE_ACCEPTED, PHASE_COMMIT,
 from repro.obs.export import (chrome_trace, trace_jsonl, write_chrome_trace,
                               write_trace_jsonl)
 from repro.obs.hist import Histogram
+from repro.obs.monitor import (MonitorConfig, MonitorTopology,
+                               ProtocolMonitor, Violation)
+from repro.obs.report import audit_trace, format_report
 from repro.obs.sampler import UtilizationSampler
 
 __all__ = [
     "Instrumentation",
     "Histogram",
     "UtilizationSampler",
+    "MonitorConfig",
+    "MonitorTopology",
+    "ProtocolMonitor",
+    "Violation",
+    "audit_trace",
+    "format_report",
     "TraceEvent",
     "Span",
     "trace_jsonl",

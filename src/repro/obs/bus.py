@@ -30,9 +30,16 @@ class Instrumentation:
     """Structured metrics/trace hub shared by every layer of a deployment."""
 
     def __init__(self, enabled: bool = False, recording: bool = False,
-                 max_events: int = 1_000_000) -> None:
+                 max_events: int = 1_000_000,
+                 metrics: bool | None = None) -> None:
         self.recording = recording
         self.enabled = enabled or recording
+        #: Histogram/span tier. Defaults to ``enabled``; the conformance
+        #: monitor's always-on cheap tier passes ``metrics=False`` so
+        #: emission sites stay live while per-phase aggregation (the
+        #: expensive part at every message hop) stays off.
+        self.metrics = self.enabled if metrics is None else \
+            (metrics or recording)
         self.max_events = max_events
         #: Scalar counters (always live), e.g. ``net.sent``.
         self.counters: Counter = Counter()
@@ -47,6 +54,14 @@ class Instrumentation:
         self.dropped_events = 0
         self._open_spans: dict[tuple[str, str, str], tuple[float, dict]] = {}
         self.sampler: Any = None
+        #: Optional online conformance monitor (``repro.obs.monitor``).
+        #: Fed from :meth:`emit` regardless of ``recording``.
+        self.monitor: Any = None
+        #: Topology description embedded in JSONL exports so offline
+        #: audits can rebuild the monitor's zone/cluster maps.
+        self.topology: dict | None = None
+        #: Simulated end time of the run (for offline watchdog replay).
+        self.end_ms: float | None = None
 
     # ------------------------------------------------------------------
     # Counters (tier 1: always on)
@@ -68,7 +83,7 @@ class Instrumentation:
     # ------------------------------------------------------------------
     def observe(self, name: str, value: float) -> None:
         """Record a value into a named histogram (no-op when disabled)."""
-        if not self.enabled:
+        if not self.metrics:
             return
         hist = self.histograms.get(name)
         if hist is None:
@@ -85,7 +100,7 @@ class Instrumentation:
     def span_open(self, ts: float, phase: str, key: str, node: str = "",
                   **fields: Any) -> None:
         """Open (or re-open) a phase span keyed by ``(phase, key, node)``."""
-        if not self.enabled:
+        if not self.metrics:
             return
         self._open_spans[(phase, key, node)] = (ts, fields)
 
@@ -120,14 +135,44 @@ class Instrumentation:
     # ------------------------------------------------------------------
     def emit(self, ts: float, kind: str, node: str = "",
              **fields: Any) -> None:
-        """Append a structured trace event (no-op unless recording)."""
-        if not self.recording:
+        """Append a structured trace event and feed the monitor.
+
+        Recording gates the trace append only: an attached conformance
+        monitor sees every emitted event even when ``recording`` is off
+        (the benchmark "always-on cheap tier"). Events the monitor itself
+        emits (``monitor.*``) are never dispatched back into it.
+        """
+        if self.recording:
+            if len(self.events) < self.max_events:
+                self.events.append(TraceEvent(ts=ts, kind=kind, node=node,
+                                              fields=fields))
+            else:
+                self.dropped_events += 1
+        if self.monitor is not None and not kind.startswith("monitor."):
+            self.monitor.on_event(ts, kind, node, fields)
+
+    def emit_cert(self, ts: float, node: str, msg: str, zone_id: str,
+                  cert: Any, valid: bool, src: str = "",
+                  ref: str = "") -> None:
+        """Describe a certificate-validity check as a ``cert.check`` event.
+
+        Works for both quorum certificates (``.signatures``) and threshold
+        certificates (``.group``/``.threshold``); the monitor re-derives
+        the structural checks from the emitted signer set.
+        """
+        if self.monitor is None and not self.recording:
             return
-        if len(self.events) >= self.max_events:
-            self.dropped_events += 1
-            return
-        self.events.append(TraceEvent(ts=ts, kind=kind, node=node,
-                                      fields=fields))
+        fields: dict[str, Any] = {}
+        signatures = getattr(cert, "signatures", None)
+        if signatures is not None:
+            fields["signers"] = [sig.signer for sig in signatures]
+        elif getattr(cert, "group", None) is not None:
+            fields["signers"] = sorted(cert.group)
+            fields["threshold"] = cert.threshold
+        else:
+            fields["signers"] = []
+        self.emit(ts, "cert.check", node=node, msg=msg, zone=zone_id,
+                  src=src, ref=ref, valid=bool(valid), **fields)
 
     # ------------------------------------------------------------------
     # Wiring

@@ -3,10 +3,12 @@
 JSONL layout (one JSON object per line, compact separators, sorted keys —
 byte-identical across runs of the same seeded experiment):
 
-1. a ``meta`` header line,
-2. every trace event in emission order (``{"type": "event", ...}``),
-3. every closed span in close order (``{"type": "span", ...}``),
-4. a ``summary`` trailer with counters, type counters, and histogram
+1. a ``meta`` header line (carrying ``end_ms`` when the run recorded it),
+2. an optional ``topology`` line (zone/cluster membership) so offline
+   audits can rebuild the conformance monitor's maps,
+3. every trace event in emission order (``{"type": "event", ...}``),
+4. every closed span in close order (``{"type": "span", ...}``),
+5. a ``summary`` trailer with counters, type counters, and histogram
    snapshots.
 
 The Chrome format wraps the same spans as complete (``"ph": "X"``) events
@@ -32,9 +34,16 @@ def _dumps(obj: Any) -> str:
 
 
 def _jsonl_lines(obs: Instrumentation) -> Iterator[str]:
-    yield _dumps({"type": "meta", "format": "repro-trace", "version": 1,
-                  "events": len(obs.events), "spans": len(obs.spans),
-                  "dropped_events": obs.dropped_events})
+    meta = {"type": "meta", "format": "repro-trace", "version": 1,
+            "events": len(obs.events), "spans": len(obs.spans),
+            "dropped_events": obs.dropped_events}
+    end_ms = getattr(obs, "end_ms", None)
+    if end_ms is not None:
+        meta["end_ms"] = round(end_ms, 6)
+    yield _dumps(meta)
+    topology = getattr(obs, "topology", None)
+    if topology:
+        yield _dumps({"type": "topology", **topology})
     for event in obs.events:
         record = {"type": "event", "ts": round(event.ts, 6),
                   "kind": event.kind, "node": event.node}

@@ -1,0 +1,558 @@
+"""Online protocol conformance monitor (paper §IV-§VI invariants).
+
+Ziziphus's safety argument is that Byzantine behaviour stays *confined
+within zones*: every cross-zone message carries a ``2f+1`` intra-zone
+certificate, intra-zone PBFT never commits divergently, the top-level
+data-sync protocol only commits after a majority of zones accepted, and
+a migration moves a client's state to exactly one new owner, exactly
+once. The monitor subscribes to the instrumentation bus and checks those
+invariants *while the simulation runs*:
+
+1. **PBFT agreement** — no two commits for one ``(group, view, seq)``
+   with different digests, every commit backed by ``2f+1`` distinct
+   in-group signers, and primaries never equivocate in pre-prepares
+   (detected from the *claimed* digest each receiver observes, since a
+   correct PBFT instance will refuse to commit divergently).
+2. **Certificate validity** — every ``cert.check`` event is re-derived
+   structurally (distinct signers, within zone membership, quorum size)
+   on top of the deployment's own cryptographic verdict.
+3. **Data-sync quorum** — a global transaction only commits after a
+   majority of the cluster's zones promised (leaderless mode) and
+   accepted its ballot.
+4. **Migration atomicity** — a client is owned by exactly one zone at
+   every simulated instant, each migration request executes exactly once
+   per cluster, and the shipped state digest matches what is applied.
+5. **Liveness watchdog** — per-item progress timers (global transaction,
+   state copy, committed-but-unexecuted batch) flagged at ``finish()``
+   with the protocol phase they stalled in.
+
+The monitor is deterministic: timestamps are rounded exactly like the
+JSONL exporter rounds them, so replaying an exported trace offline
+(``repro audit``) reproduces the online verdicts byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["MonitorConfig", "MonitorTopology", "ProtocolMonitor",
+           "Violation"]
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Tunables for the conformance monitor."""
+
+    #: An open progress item older than this at ``finish()`` is a stall.
+    stall_timeout_ms: float = 10_000.0
+    #: Hard cap on stored violations (a truly broken run stays bounded).
+    max_violations: int = 10_000
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One detected invariant violation."""
+
+    ts: float
+    kind: str
+    culprit: str
+    detail: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {"ts": self.ts, "kind": self.kind, "culprit": self.culprit,
+                "detail": self.detail}
+
+
+class MonitorTopology:
+    """Zone/cluster membership maps the checkers consult.
+
+    ``zones`` maps zone id to ``{"members": [...], "f": int,
+    "cluster": str}``; ``clusters`` maps cluster id to its zone ids.
+    PBFT checks do not use the topology (events carry their own group
+    and ``f``), so an empty topology still monitors bare PBFT groups.
+    """
+
+    def __init__(self, zones: dict[str, dict] | None = None,
+                 clusters: dict[str, list] | None = None) -> None:
+        self.zones = {zid: {"members": list(z["members"]), "f": int(z["f"]),
+                            "cluster": z.get("cluster", "")}
+                      for zid, z in (zones or {}).items()}
+        self.clusters = {cid: list(zids)
+                         for cid, zids in (clusters or {}).items()}
+
+    @classmethod
+    def from_deployment(cls, deployment: Any) -> "MonitorTopology":
+        """Derive the maps from a built deployment (duck-typed)."""
+        directory = getattr(deployment, "directory", None)
+        if directory is not None:
+            zones = {}
+            for zone_id in directory.zone_ids:
+                info = directory.zone(zone_id)
+                zones[zone_id] = {"members": list(info.members),
+                                  "f": info.f, "cluster": info.cluster_id}
+            clusters = {cid: list(directory.cluster_zones(cid))
+                        for cid in directory.cluster_ids}
+            return cls(zones, clusters)
+        group = getattr(deployment, "group", None)
+        if group is not None:
+            f = getattr(deployment, "total_f", None)
+            if f is None:
+                f = (len(group) - 1) // 3
+            return cls.single_group(group, f)
+        return cls()
+
+    @classmethod
+    def single_group(cls, members, f: int) -> "MonitorTopology":
+        """Topology for one bare PBFT group (flat deployments, tests)."""
+        zones = {"group": {"members": list(members), "f": int(f),
+                           "cluster": "cluster-0"}}
+        return cls(zones, {"cluster-0": ["group"]})
+
+    def to_dict(self) -> dict:
+        return {"zones": {zid: dict(z) for zid, z in
+                          sorted(self.zones.items())},
+                "clusters": {cid: list(zids) for cid, zids in
+                             sorted(self.clusters.items())}}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MonitorTopology":
+        return cls(data.get("zones") or {}, data.get("clusters") or {})
+
+    # -- lookups (all None-tolerant for unknown zones) -----------------
+    def members(self, zone_id: str) -> list | None:
+        zone = self.zones.get(zone_id)
+        return zone["members"] if zone else None
+
+    def quorum(self, zone_id: str) -> int | None:
+        zone = self.zones.get(zone_id)
+        return 2 * zone["f"] + 1 if zone else None
+
+    def cluster_of(self, zone_id: str) -> str | None:
+        zone = self.zones.get(zone_id)
+        return zone["cluster"] if zone else None
+
+    def cluster_majority(self, zone_id: str) -> int | None:
+        """Majority quorum over the zones of ``zone_id``'s cluster."""
+        cluster = self.cluster_of(zone_id)
+        zone_ids = self.clusters.get(cluster or "", [])
+        return len(zone_ids) // 2 + 1 if zone_ids else None
+
+
+def _ballot_zone(ballot_key: str) -> str:
+    """Zone id of a ``seq.zone`` ballot key."""
+    _, _, zone = ballot_key.partition(".")
+    return zone
+
+
+class ProtocolMonitor:
+    """Invariant checkers fed from :meth:`Instrumentation.emit`.
+
+    One instance serves both tiers: attached to a live bus it checks
+    online (and re-emits violations as ``monitor.violation`` trace
+    events); constructed standalone it replays an exported trace via
+    :func:`repro.obs.report.audit_trace`.
+    """
+
+    def __init__(self, topology: MonitorTopology | None = None,
+                 config: MonitorConfig | None = None,
+                 bus: Any = None) -> None:
+        self.topology = topology or MonitorTopology()
+        self.config = config or MonitorConfig()
+        self.bus = bus
+        self.violations: list[Violation] = []
+        self.checked: Counter = Counter()
+        self.end_ts: float | None = None
+        self._seen: set = set()
+        # PBFT agreement state: (group, view, seq) -> digest -> sender.
+        self._pp_digests: dict[tuple, dict[str, str]] = {}
+        self._commit_digests: dict[tuple, dict[str, str]] = {}
+        # Endorsement equivocation: (members, instance, view) -> digests.
+        self._endorse_digests: dict[tuple, dict[str, str]] = {}
+        # Data-sync state, keyed by ballot key "seq.zone".
+        self._sync_stable: dict[str, bool] = {}
+        self._sync_promised: dict[str, set] = {}
+        self._sync_accepted: dict[str, set] = {}
+        self._sync_commit_ok: set = set()
+        self._commit_prev: dict[str, str] = {}
+        self._executed: dict[str, set] = {}
+        # Migration atomicity state.
+        self._mig_transitions: dict[tuple, tuple] = {}
+        self._owner: dict[str, str] = {}
+        self._owner_applied: set = set()
+        self._mig_done: dict[tuple, set] = {}
+        self._state_digests: dict[tuple, str] = {}
+        self._applied_nodes: dict[tuple, set] = {}
+        # Liveness watchdog: open item key -> {start, phase, node}.
+        self._open: dict[tuple, dict] = {}
+        self._finished = False
+        self._handlers = {
+            "pbft.preprepare": self._on_pbft_preprepare,
+            "pbft.commit": self._on_pbft_commit,
+            "pbft.execute": self._on_pbft_execute,
+            "endorse.preprepare": self._on_endorse_preprepare,
+            "cert.check": self._on_cert_check,
+            "sync.start": self._on_sync_start,
+            "sync.promise": self._on_sync_promise,
+            "sync.accepted": self._on_sync_accepted,
+            "sync.commit": self._on_sync_commit,
+            "sync.execute": self._on_sync_execute,
+            "migration.executed": self._on_migration_executed,
+            "migration.state_sent": self._on_state_sent,
+            "migration.applied": self._on_applied,
+        }
+
+    @classmethod
+    def attach(cls, obs: Any, deployment: Any = None,
+               topology: MonitorTopology | None = None,
+               config: MonitorConfig | None = None) -> "ProtocolMonitor":
+        """Wire a monitor into a bus (and export its topology)."""
+        if topology is None and deployment is not None:
+            topology = MonitorTopology.from_deployment(deployment)
+        monitor = cls(topology=topology, config=config, bus=obs)
+        obs.monitor = monitor
+        obs.topology = monitor.topology.to_dict()
+        return monitor
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+    def on_event(self, ts: float, kind: str, node: str,
+                 fields: dict) -> None:
+        """Dispatch one bus event into the matching checker."""
+        handler = self._handlers.get(kind)
+        if handler is not None:
+            # Round exactly like the JSONL exporter so offline replay
+            # reproduces identical violation timestamps.
+            handler(round(ts, 6), node, fields)
+
+    def finish(self, end_ts: float) -> None:
+        """Close the run: flag progress items stalled past the timeout."""
+        if self._finished:
+            return
+        self._finished = True
+        self.end_ts = round(end_ts, 6)
+        for key in list(self._open):
+            item = self._open[key]
+            age = self.end_ts - item["start"]
+            if age >= self.config.stall_timeout_ms:
+                self._flag(self.end_ts, "stall", item["node"],
+                           dedup_key=key,
+                           item="/".join(str(part) for part in key),
+                           phase=item["phase"], age_ms=round(age, 6))
+
+    # ------------------------------------------------------------------
+    # Violation plumbing
+    # ------------------------------------------------------------------
+    def _flag(self, ts: float, kind: str, culprit: str,
+              dedup_key: Any = None, **detail: Any) -> None:
+        if dedup_key is not None:
+            seen_key = (kind, dedup_key)
+            if seen_key in self._seen:
+                return
+            self._seen.add(seen_key)
+        if len(self.violations) >= self.config.max_violations:
+            return
+        violation = Violation(ts=ts, kind=kind, culprit=culprit,
+                              detail=detail)
+        self.violations.append(violation)
+        if self.bus is not None:
+            self.bus.emit(ts, "monitor.violation", node=culprit,
+                          violation=kind, **detail)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+    def assert_clean(self) -> None:
+        """Raise AssertionError listing every violation (test tier)."""
+        if self.violations:
+            lines = [f"  {v.ts:.3f}ms {v.kind} culprit={v.culprit} "
+                     f"{v.detail}" for v in self.violations[:20]]
+            more = len(self.violations) - len(lines)
+            if more > 0:
+                lines.append(f"  ... and {more} more")
+            raise AssertionError(
+                f"protocol monitor flagged {len(self.violations)} "
+                "violation(s):\n" + "\n".join(lines))
+
+    # ------------------------------------------------------------------
+    # (1) PBFT agreement
+    # ------------------------------------------------------------------
+    def _on_pbft_preprepare(self, ts: float, node: str, f: dict) -> None:
+        self.checked["pbft.preprepare"] += 1
+        key = (f["group"], f["view"], f["sequence"])
+        digests = self._pp_digests.setdefault(key, {})
+        digests.setdefault(f["digest"], f["sender"])
+        if len(digests) > 1:
+            self._flag(ts, "pbft-equivocation", f["sender"],
+                       dedup_key=(key, f["digest"]), view=f["view"],
+                       sequence=f["sequence"], digests=sorted(digests))
+
+    def _on_pbft_commit(self, ts: float, node: str, f: dict) -> None:
+        self.checked["pbft.commit"] += 1
+        members = f["group"].split(",")
+        quorum = 2 * f["f"] + 1
+        signers = f["signers"]
+        distinct = set(signers)
+        reason = ""
+        if len(signers) != len(distinct):
+            reason = "duplicate-signers"
+        elif not distinct <= set(members):
+            reason = "foreign-signer"
+        elif len(distinct) < quorum:
+            reason = "undersized"
+        if reason:
+            self._flag(ts, "pbft-bad-quorum", node,
+                       dedup_key=(f["group"], f["view"], f["sequence"],
+                                  node),
+                       reason=reason, view=f["view"],
+                       sequence=f["sequence"], signers=sorted(signers),
+                       required=quorum)
+        key = (f["group"], f["view"], f["sequence"])
+        digests = self._commit_digests.setdefault(key, {})
+        digests.setdefault(f["digest"], node)
+        if len(digests) > 1:
+            self._flag(ts, "pbft-divergence", node,
+                       dedup_key=(key, f["digest"]), view=f["view"],
+                       sequence=f["sequence"], digests=sorted(digests))
+        self._open.setdefault(("pbft", f["group"], f["sequence"], node),
+                              {"start": ts, "phase": "pbft-execute",
+                               "node": node})
+
+    def _on_pbft_execute(self, ts: float, node: str, f: dict) -> None:
+        self.checked["pbft.execute"] += 1
+        group = f.get("group")
+        if group is not None:
+            self._open.pop(("pbft", group, f["sequence"], node), None)
+
+    def _on_endorse_preprepare(self, ts: float, node: str,
+                               f: dict) -> None:
+        self.checked["endorse.preprepare"] += 1
+        key = (f["members"], f["instance"], f["view"])
+        digests = self._endorse_digests.setdefault(key, {})
+        digests.setdefault(f["digest"], f["sender"])
+        if len(digests) > 1:
+            self._flag(ts, "endorse-equivocation", f["sender"],
+                       dedup_key=(key, f["digest"]),
+                       instance=f["instance"], digests=sorted(digests))
+
+    # ------------------------------------------------------------------
+    # (2) Certificate validity
+    # ------------------------------------------------------------------
+    def _on_cert_check(self, ts: float, node: str, f: dict) -> None:
+        self.checked["cert.check"] += 1
+        zone = f["zone"]
+        members = self.topology.members(zone)
+        quorum = self.topology.quorum(zone)
+        signers = f.get("signers") or []
+        reason = ""
+        if members is not None and quorum is not None:
+            distinct = set(signers)
+            if "threshold" in f:
+                if distinct != set(members):
+                    reason = "threshold-group-mismatch"
+                elif f["threshold"] < quorum:
+                    reason = "threshold-below-quorum"
+            elif len(signers) != len(distinct):
+                reason = "duplicate-signers"
+            elif not distinct <= set(members):
+                reason = "foreign-signers"
+            elif len(distinct) < quorum:
+                reason = "undersized"
+        if not f["valid"]:
+            reason = reason or "signature-invalid"
+        if reason:
+            culprit = f.get("src") or node
+            self._flag(ts, "cert-invalid", culprit,
+                       dedup_key=(f["msg"], zone, culprit, f.get("ref"),
+                                  reason),
+                       msg=f["msg"], zone=zone, ref=f.get("ref", ""),
+                       reason=reason, signers=sorted(signers),
+                       observed_by=node)
+
+    # ------------------------------------------------------------------
+    # (3) Data-sync quorum
+    # ------------------------------------------------------------------
+    def _on_sync_start(self, ts: float, node: str, f: dict) -> None:
+        self.checked["sync.start"] += 1
+        ballot = f["ballot"]
+        self._sync_stable.setdefault(ballot, bool(f.get("stable", False)))
+        self._open.setdefault(("sync", ballot),
+                              {"start": ts, "phase": "start",
+                               "node": node})
+
+    def _on_sync_promise(self, ts: float, node: str, f: dict) -> None:
+        self.checked["sync.promise"] += 1
+        self._sync_promised.setdefault(f["ballot"], set()).add(f["zone"])
+        item = self._open.get(("sync", f["ballot"]))
+        if item is not None:
+            item["phase"] = "promise"
+
+    def _on_sync_accepted(self, ts: float, node: str, f: dict) -> None:
+        self.checked["sync.accepted"] += 1
+        ballot = f["ballot"]
+        self._sync_accepted.setdefault(ballot, set()).add(f["zone"])
+        item = self._open.get(("sync", ballot))
+        if item is not None:
+            item["phase"] = "accepted"
+        # Leaderless mode: an accept must follow a majority of promises.
+        if self._sync_stable.get(ballot) is False:
+            zone = _ballot_zone(ballot)
+            majority = self.topology.cluster_majority(zone)
+            promised = set(self._sync_promised.get(ballot, set()))
+            promised.add(zone)
+            if majority is not None and len(promised) < majority:
+                self._flag(ts, "sync-premature-accept", node,
+                           dedup_key=ballot, ballot=ballot,
+                           promised=sorted(promised), required=majority)
+
+    def _on_sync_commit(self, ts: float, node: str, f: dict) -> None:
+        self.checked["sync.commit"] += 1
+        ballot = f["ballot"]
+        if "prev" in f:
+            self._commit_prev.setdefault(ballot, f["prev"])
+        item = self._open.get(("sync", ballot))
+        if item is not None:
+            item["phase"] = "commit"
+        if ballot in self._sync_commit_ok:
+            return
+        zone = _ballot_zone(ballot)
+        majority = self.topology.cluster_majority(zone)
+        accepted = set(self._sync_accepted.get(ballot, set()))
+        accepted.add(zone)  # the initiator zone accepts implicitly
+        if majority is not None and len(accepted) < majority:
+            self._flag(ts, "sync-quorum", node, dedup_key=ballot,
+                       ballot=ballot, accepted=sorted(accepted),
+                       required=majority)
+        else:
+            self._sync_commit_ok.add(ballot)
+
+    def _on_sync_execute(self, ts: float, node: str, f: dict) -> None:
+        self.checked["sync.execute"] += 1
+        ballot = f["ballot"]
+        executed = self._executed.setdefault(node, set())
+        if ballot in executed:
+            self._flag(ts, "sync-duplicate-execute", node,
+                       dedup_key=(node, ballot), ballot=ballot)
+        else:
+            prev = self._commit_prev.get(ballot, "")
+            if prev and prev not in executed:
+                self._flag(ts, "sync-order", node,
+                           dedup_key=(node, ballot), ballot=ballot,
+                           prev=prev)
+            executed.add(ballot)
+        self._open.pop(("sync", ballot), None)
+
+    # ------------------------------------------------------------------
+    # (4) Migration atomicity
+    # ------------------------------------------------------------------
+    def _on_migration_executed(self, ts: float, node: str,
+                               f: dict) -> None:
+        self.checked["migration.executed"] += 1
+        key = (f["ballot"], f["client"])
+        transition = (f["source"], f["dest"], bool(f["accepted"]))
+        first = self._mig_transitions.get(key)
+        if first is None:
+            self._mig_transitions[key] = transition
+            self._apply_transition(ts, node, f)
+        elif first != transition:
+            # Nodes disagreeing on a deterministic execution outcome.
+            self._flag(ts, "migration-divergence", node,
+                       dedup_key=(key, transition), ballot=f["ballot"],
+                       client=f["client"], got=list(transition),
+                       first=list(first))
+
+    def _apply_transition(self, ts: float, node: str, f: dict) -> None:
+        if not f["accepted"]:
+            return
+        client = f["client"]
+        ident = (client, f["req_ts"])
+        cluster = self.topology.cluster_of(_ballot_zone(f["ballot"]))
+        done = self._mig_done.setdefault(ident, set())
+        for done_cluster, done_ballot in done:
+            if done_cluster == cluster and done_ballot != f["ballot"]:
+                self._flag(ts, "migration-duplicate", node,
+                           dedup_key=(ident, f["ballot"]), client=client,
+                           req_ts=f["req_ts"], ballot=f["ballot"],
+                           earlier=done_ballot)
+        done.add((cluster, f["ballot"]))
+        if ident in self._owner_applied:
+            # The other cluster's half of a cross-cluster migration:
+            # it must agree on the destination.
+            expected = self._owner.get(client)
+            if expected is not None and expected != f["dest"]:
+                self._flag(ts, "migration-dest-divergence", node,
+                           dedup_key=(ident, f["ballot"]), client=client,
+                           dest=f["dest"], expected=expected)
+            return
+        self._owner_applied.add(ident)
+        owner = self._owner.get(client)
+        if owner is not None and owner != f["source"]:
+            self._flag(ts, "ownership-fork", node, dedup_key=ident,
+                       client=client, owner=owner,
+                       claimed_source=f["source"], dest=f["dest"])
+        self._owner[client] = f["dest"]
+
+    def _on_state_sent(self, ts: float, node: str, f: dict) -> None:
+        self.checked["migration.state"] += 1
+        key = (f["ballot"], f["client"])
+        prior = self._state_digests.setdefault(key, f["records_digest"])
+        if prior != f["records_digest"]:
+            self._flag(ts, "migration-integrity", node,
+                       dedup_key=(key, f["records_digest"]),
+                       client=f["client"], ballot=f["ballot"],
+                       reason="divergent-state-sent")
+        self._open.setdefault(("migration", f["ballot"], f["client"]),
+                              {"start": ts, "phase": "state-copy",
+                               "node": node})
+
+    def _on_applied(self, ts: float, node: str, f: dict) -> None:
+        self.checked["migration.applied"] += 1
+        key = (f["ballot"], f["client"])
+        sent = self._state_digests.get(key)
+        if sent is not None and sent != f["records_digest"]:
+            self._flag(ts, "migration-integrity", node,
+                       dedup_key=(key, node, f["records_digest"]),
+                       client=f["client"], ballot=f["ballot"],
+                       reason="applied-digest-mismatch")
+        applied = self._applied_nodes.setdefault(key, set())
+        if node in applied:
+            self._flag(ts, "migration-duplicate-apply", node,
+                       dedup_key=(key, node), client=f["client"],
+                       ballot=f["ballot"])
+        applied.add(node)
+        self._open.pop(("migration", f["ballot"], f["client"]), None)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def culpability(self) -> dict[str, dict[str, int]]:
+        """Per-node violation counts by kind (the forensic table)."""
+        table: dict[str, Counter] = {}
+        for violation in self.violations:
+            table.setdefault(violation.culprit,
+                             Counter())[violation.kind] += 1
+        return {node: dict(sorted(kinds.items()))
+                for node, kinds in sorted(table.items())}
+
+    def report(self) -> dict:
+        """Structured forensic report (see ``repro.obs.report``)."""
+        return {
+            "format": "repro-forensic-report",
+            "version": 1,
+            "verdict": "CLEAN" if self.clean else "VIOLATIONS",
+            "end_ms": self.end_ts,
+            "checks": dict(sorted(self.checked.items())),
+            "violation_count": len(self.violations),
+            "violations": [v.as_dict() for v in self.violations],
+            "culpability": self.culpability(),
+        }
+
+    def report_json(self) -> str:
+        """Canonical JSON encoding (byte-stable across online/offline)."""
+        import json
+
+        return json.dumps(self.report(), sort_keys=True,
+                          separators=(",", ":"), default=str)

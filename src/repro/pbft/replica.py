@@ -85,6 +85,9 @@ class PBFTReplica:
         self.group = tuple(group)
         self.others = tuple(n for n in group if n != host.node_id)
         self.f = f
+        #: Stable consensus-instance key for conformance-monitor events
+        #: (a node may host several replicas, e.g. local + global PBFT).
+        self._group_key = ",".join(self.group)
         self.app = app
         self.config = config or PBFTConfig()
         self.reply_fn = reply_fn
@@ -298,6 +301,15 @@ class PBFTReplica:
             return
         if sender != self.primary_of(pp.view):
             return
+        obs = self._obs()
+        if obs is not None:
+            # Emitted with the *claimed* digest before validation: an
+            # equivocating primary never reaches divergent commits, so
+            # this is where the conformance monitor sees the fork.
+            obs.emit(self.host.sim.now, "pbft.preprepare",
+                     node=self.host.node_id, sender=sender, view=pp.view,
+                     sequence=pp.sequence, digest=pp.batch_digest.hex(),
+                     group=self._group_key, f=self.f)
         if not (self.low_water_mark < pp.sequence <= self.high_water_mark):
             return
         expected = digest(tuple(env.payload for env in pp.batch))
@@ -402,6 +414,14 @@ class PBFTReplica:
         if len(slot.commit_senders) < self.quorum:
             return
         slot.committed = True
+        obs = self._obs()
+        if obs is not None:
+            digest_hex = slot.batch_digest.hex() if slot.batch_digest else ""
+            obs.emit(self.host.sim.now, "pbft.commit",
+                     node=self.host.node_id, view=slot.view,
+                     sequence=slot.sequence, digest=digest_hex,
+                     signers=sorted(slot.commit_senders),
+                     group=self._group_key, f=self.f)
         self._try_execute()
 
     # ------------------------------------------------------------------
@@ -452,7 +472,8 @@ class PBFTReplica:
                            node=self.host.node_id)
             obs.emit(self.host.sim.now, "pbft.execute",
                      node=self.host.node_id, view=slot.view,
-                     sequence=slot.sequence, batch=len(slot.batch))
+                     sequence=slot.sequence, batch=len(slot.batch),
+                     group=self._group_key)
         for req_env in slot.batch:
             request = req_env.payload
             result = self.app.execute(request.operation, request.sender)

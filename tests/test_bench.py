@@ -68,6 +68,16 @@ def test_format_table():
     assert format_table([], "T").endswith("(no data)")
 
 
+def test_format_table_unions_columns_across_rows():
+    # A column appearing only in later rows (e.g. the monitor's "viol"
+    # count) must still be rendered — and missing cells stay blank.
+    text = format_table([{"a": 1}, {"a": 2, "viol": 3}])
+    header, _, first, second = text.splitlines()
+    assert "viol" in header
+    assert "3" in second
+    assert "3" not in first
+
+
 @pytest.mark.parametrize("protocol", ["ziziphus", "flat-pbft", "two-level",
                                       "steward"])
 def test_run_point_smoke(protocol):

@@ -77,11 +77,55 @@ def test_console_script_entry_point_declared():
         entry(["--help"])
 
 
-def test_unknown_protocol_rejected():
-    with pytest.raises(SystemExit):
+def test_unknown_protocol_rejected(capsys):
+    with pytest.raises(SystemExit) as excinfo:
         build_parser().parse_args(["point", "--protocol", "bogus"])
+    assert excinfo.value.code != 0
+    assert "invalid choice" in capsys.readouterr().err
 
 
-def test_figure_choices_are_validated():
-    with pytest.raises(SystemExit):
-        build_parser().parse_args(["figure", "fig99"])
+def test_figure_choices_are_validated(capsys):
+    code = main(["figure", "fig99"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "fig99" in err
+    assert "fig4" in err    # the message lists the valid names
+
+
+def test_version_flag(capsys):
+    from repro import __version__
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert __version__ in capsys.readouterr().out
+
+
+def test_audit_command_round_trips_a_trace(tmp_path, capsys):
+    trace = tmp_path / "trace.jsonl"
+    code = main(["trace", "--zones", "3", "--clients", "3",
+                 "--global-fraction", "0.2", "--warmup-ms", "100",
+                 "--measure-ms", "200", "--out", str(trace)])
+    assert code == 0
+    capsys.readouterr()
+    report_path = tmp_path / "report.json"
+    code = main(["audit", str(trace), "--report", str(report_path)])
+    assert code == 0    # honest run: clean verdict
+    out = capsys.readouterr().out
+    assert "verdict: CLEAN" in out
+    report = json.loads(report_path.read_text())
+    assert report["format"] == "repro-forensic-report"
+    assert report["verdict"] == "CLEAN"
+    assert report["violations"] == []
+
+
+def test_audit_missing_trace_fails(tmp_path, capsys):
+    code = main(["audit", str(tmp_path / "nope.jsonl")])
+    assert code == 2
+    assert "not found" in capsys.readouterr().err
+
+
+def test_bench_check_missing_baseline_fails(tmp_path, capsys):
+    code = main(["bench-check", "--baseline",
+                 str(tmp_path / "nope.json")])
+    assert code == 2
+    assert "bench-baseline" in capsys.readouterr().err

@@ -46,8 +46,17 @@ def test_phase_breakdown_columns_present(traced_result):
 def test_uninstrumented_run_has_no_breakdown():
     from dataclasses import replace
     result = run_point(replace(SPEC, instrument=False, record_trace=False))
-    assert result.obs is None
+    # The always-on conformance monitor keeps a bus attached, but the
+    # histogram/span tier stays off: no breakdown columns, no spans.
+    assert result.obs is not None and not result.obs.metrics
     assert result.metrics.phase_breakdown == {}
+    assert result.obs.histograms == {}
+    assert result.obs.spans == []
+    assert result.monitor is not None and result.monitor.clean
+    result = run_point(replace(SPEC, instrument=False, record_trace=False,
+                               monitor=False))
+    assert result.obs is None
+    assert result.metrics.violations is None
 
 
 def test_protocol_spans_cover_expected_phases(traced_result):
