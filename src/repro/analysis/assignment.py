@@ -16,6 +16,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.core.quorums import max_faulty
+
 __all__ = ["zone_failure_probability", "deployment_failure_probability",
            "minimum_zone_size", "AssignmentAnalysis", "analyze_assignment"]
 
@@ -32,7 +34,7 @@ def zone_failure_probability(population: int, byzantine: int,
                              zone_size: int) -> float:
     """P[a random zone of ``zone_size`` draws more than floor((z-1)/3)
     Byzantine nodes from a population with ``byzantine`` bad nodes]."""
-    budget = (zone_size - 1) // 3
+    budget = max_faulty(zone_size)
     return sum(_hypergeom_pmf(k, population, byzantine, zone_size)
                for k in range(budget + 1, zone_size + 1))
 
@@ -59,7 +61,7 @@ def minimum_zone_size(byzantine_fraction: float,
     committees are needed for 1 - 2^-20 at the usual fault fractions.
     """
     for size in range(4, max_size + 1, 3):   # sizes of the form 3f+1
-        budget = (size - 1) // 3
+        budget = max_faulty(size)
         tail = sum(math.comb(size, k)
                    * byzantine_fraction ** k
                    * (1 - byzantine_fraction) ** (size - k)
@@ -100,7 +102,7 @@ def analyze_assignment(zones: int, zone_size: int,
                                              zone_size, zones)
     # Deterministic placement (Ziziphus's assumption): safe iff the bad
     # nodes can be spread with at most f per zone.
-    budget = (zone_size - 1) // 3
+    budget = max_faulty(zone_size)
     deterministic_safe = byzantine <= zones * budget
     return AssignmentAnalysis(population=population, byzantine=byzantine,
                               zones=zones, zone_size=zone_size,

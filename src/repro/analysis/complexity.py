@@ -13,6 +13,8 @@ helpers used to check the linear-vs-quadratic claim.
 
 from __future__ import annotations
 
+from repro.core.quorums import group_size, two_level_big_f
+
 __all__ = [
     "endorsement_messages",
     "pbft_batch_messages",
@@ -82,7 +84,7 @@ def ziziphus_migration_messages(zones: int, zone_size: int,
 def flat_pbft_batch_messages(zones: int, f_per_zone: int,
                              batch: int) -> int:
     """Flat PBFT over the paper's ``3 Z f + 1`` node group."""
-    return pbft_batch_messages(3 * zones * f_per_zone + 1, batch)
+    return pbft_batch_messages(group_size(zones * f_per_zone), batch)
 
 
 def top_level_messages(protocol: str, zones: int) -> int:
@@ -98,7 +100,7 @@ def top_level_messages(protocol: str, zones: int) -> int:
     if protocol == "ziziphus":
         return 3 * (zones - 1)
     if protocol == "two-level":
-        big_f = (zones - 1) // 2
-        reps = 3 * big_f + 1
+        big_f = two_level_big_f(zones)
+        reps = group_size(big_f)
         return (reps - 1) + (reps - 1) ** 2 + reps * (reps - 1)
     raise ValueError(f"unknown protocol {protocol!r}")

@@ -1,0 +1,41 @@
+"""Determinism & protocol-safety static analysis (``repro lint``).
+
+Runs five AST-based rules over the codebase — ``determinism``,
+``unordered-iter``, ``quorum-arith``, ``event-registry``,
+``message-totality`` — and reports violations in text or JSON. A finding
+can be acknowledged with a same-line ``# lint: allow[rule-id]`` comment;
+suppressions are counted in the report, never silent.
+"""
+
+from repro.analysis.lint.engine import (FileRule, Finding, LintEngine,
+                                        LintError, LintResult, ProjectRule,
+                                        Rule, SourceFile, load_source_file)
+from repro.analysis.lint.rules import (DeterminismRule, EventRegistryRule,
+                                       MessageTotalityRule,
+                                       QuorumArithmeticRule,
+                                       UnorderedIterationRule, default_rules)
+
+__all__ = [
+    "DeterminismRule",
+    "EventRegistryRule",
+    "FileRule",
+    "Finding",
+    "LintEngine",
+    "LintError",
+    "LintResult",
+    "MessageTotalityRule",
+    "ProjectRule",
+    "QuorumArithmeticRule",
+    "Rule",
+    "SourceFile",
+    "UnorderedIterationRule",
+    "default_rules",
+    "load_source_file",
+    "run_lint",
+]
+
+
+def run_lint(paths, rules=None) -> LintResult:
+    """Lint ``paths`` with the default (or given) rule set."""
+    engine = LintEngine(rules if rules is not None else default_rules())
+    return engine.run(paths)

@@ -1,0 +1,223 @@
+"""Rule engine for the repro static-analysis suite.
+
+The engine parses every target file into an AST exactly once, hands the
+parsed :class:`SourceFile` objects to each rule, and post-processes the
+raw findings against same-line ``# lint: allow[rule-id]`` suppressions.
+Two rule flavours exist:
+
+- :class:`FileRule` — examines one file at a time (determinism,
+  unordered-iter, quorum-arith);
+- :class:`ProjectRule` — examines the whole corpus at once, for
+  cross-file invariants (event-registry, message-totality).
+
+Findings are reported deterministically: sorted by (path, line, rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "SourceFile",
+    "FileRule",
+    "ProjectRule",
+    "Rule",
+    "LintError",
+    "LintResult",
+    "LintEngine",
+]
+
+#: Same-line suppression: ``expr  # lint: allow[rule-id]`` (several ids may
+#: be comma-separated). Suppressions are counted and reported, never silent.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_\s,-]+)\]")
+
+
+class LintError(Exception):
+    """A target path does not exist or cannot be parsed."""
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """One-line human-readable form."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.severity} [{self.rule}] {self.message}")
+
+
+@dataclass
+class SourceFile:
+    """A parsed target file plus its suppression table."""
+
+    path: Path
+    display: str
+    text: str
+    tree: ast.Module
+    #: line number -> rule ids allowed on that line
+    allowed: dict[int, frozenset[str]]
+
+    @property
+    def parts(self) -> frozenset[str]:
+        """Path components, for package-scope checks (e.g. ``"pbft"``)."""
+        return frozenset(self.path.parts)
+
+
+def load_source_file(path: Path) -> SourceFile:
+    """Parse one file; raises :class:`LintError` on syntax errors."""
+    text = path.read_text()
+    try:
+        tree = ast.parse(text, filename=str(path))
+    except SyntaxError as exc:
+        raise LintError(f"cannot parse {path}: {exc}") from exc
+    allowed: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            allowed[lineno] = frozenset(
+                part.strip() for part in match.group(1).split(","))
+    try:
+        display = path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        display = path.as_posix()
+    return SourceFile(path=path, display=display, text=text, tree=tree,
+                      allowed=allowed)
+
+
+class Rule:
+    """Base class: a rule id, its severity, and a finding factory."""
+
+    id: str = ""
+    severity: str = "error"
+    description: str = ""
+
+    def finding(self, src: SourceFile, node: ast.AST,
+                message: str) -> Finding:
+        """Build a finding anchored at ``node`` in ``src``."""
+        return Finding(rule=self.id, severity=self.severity,
+                       path=src.display, line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0), message=message)
+
+
+class FileRule(Rule):
+    """A rule evaluated independently on each file."""
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule evaluated once over the whole corpus."""
+
+    def check_project(self,
+                      files: Sequence[SourceFile]) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+@dataclass
+class LintResult:
+    """Outcome of one engine run."""
+
+    files: int
+    findings: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+
+    @property
+    def exit_code(self) -> int:
+        """0 when no unsuppressed finding remains, 1 otherwise."""
+        return 1 if self.findings else 0
+
+    def counts(self) -> dict[str, int]:
+        """Unsuppressed finding count per rule id."""
+        counts: dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def to_json(self) -> str:
+        """Machine-readable report (stable key order)."""
+        payload = {
+            "format": "repro-lint",
+            "version": 1,
+            "files": self.files,
+            "counts": self.counts(),
+            "findings": [dataclasses.asdict(f) for f in self.findings],
+            "suppressed": [dataclasses.asdict(f) for f in self.suppressed],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        """Human-readable report."""
+        lines = [finding.render() for finding in self.findings]
+        problems = len(self.findings)
+        tail = (f"{problems} problem{'s' if problems != 1 else ''} "
+                f"({len(self.suppressed)} suppressed) "
+                f"in {self.files} file{'s' if self.files != 1 else ''}")
+        if not problems:
+            tail = "clean: " + tail
+        lines.append(tail)
+        return "\n".join(lines)
+
+
+class LintEngine:
+    """Runs a set of rules over a set of paths."""
+
+    def __init__(self, rules: Iterable[Rule]) -> None:
+        self.rules = list(rules)
+
+    # ------------------------------------------------------------------
+    # Collection
+    # ------------------------------------------------------------------
+    @staticmethod
+    def collect(paths: Sequence[str | Path]) -> list[Path]:
+        """Expand files/directories into a sorted list of ``.py`` files."""
+        collected: set[Path] = set()
+        for raw in paths:
+            path = Path(raw)
+            if path.is_dir():
+                collected.update(path.rglob("*.py"))
+            elif path.is_file():
+                collected.add(path)
+            else:
+                raise LintError(f"no such file or directory: {path}")
+        return sorted(collected)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, paths: Sequence[str | Path]) -> LintResult:
+        """Lint ``paths`` and return the partitioned findings."""
+        sources = [load_source_file(path) for path in self.collect(paths)]
+        by_display = {src.display: src for src in sources}
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if isinstance(rule, FileRule):
+                for src in sources:
+                    raw.extend(rule.check_file(src))
+            elif isinstance(rule, ProjectRule):
+                raw.extend(rule.check_project(sources))
+        result = LintResult(files=len(sources))
+        for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule,
+                                                  f.col, f.message)):
+            src = by_display.get(finding.path)
+            allowed = src.allowed.get(finding.line, frozenset()) if src else \
+                frozenset()
+            if finding.rule in allowed:
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+        return result

@@ -1,0 +1,472 @@
+"""The five repro lint rules.
+
+Each rule enforces one reproducibility or protocol-safety contract of this
+codebase; see DESIGN.md ("Determinism contract") for the rationale.
+
+- ``determinism`` — no wall clocks or ambient randomness inside the
+  simulated protocol stack; all randomness must flow from seeded
+  ``random.Random`` instances (``repro.sim.rng``) and all time from the
+  simulator clock.
+- ``unordered-iter`` — no iteration over sets in protocol packages
+  without ``sorted(...)``: set order varies with hash seeding and
+  insertion history, which silently breaks byte-identical traces.
+- ``quorum-arith`` — no inline ``2*f+1`` / ``f+1`` / majority
+  arithmetic; thresholds come from :mod:`repro.quorums` so a typo cannot
+  weaken a quorum in one call site only.
+- ``event-registry`` — every ``obs.emit(ts, "<kind>", ...)`` kind is
+  declared in ``EVENT_KINDS``, every declared kind is emitted somewhere,
+  and every kind the protocol monitor consumes exists.
+- ``message-totality`` — every ``Message`` subclass is listed in
+  ``WIRE_MESSAGES`` and has a registered handler (or is delivered
+  directly to clients); the registry carries no stale names.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Sequence
+
+from repro.analysis.lint.engine import (FileRule, Finding, ProjectRule,
+                                        SourceFile)
+
+__all__ = [
+    "DeterminismRule",
+    "UnorderedIterationRule",
+    "QuorumArithmeticRule",
+    "EventRegistryRule",
+    "MessageTotalityRule",
+    "default_rules",
+]
+
+#: Packages whose code runs inside the deterministic simulation.
+_SIM_SCOPE = frozenset({"sim", "pbft", "core", "baselines", "crypto"})
+#: Packages whose iteration order feeds protocol decisions and traces.
+_ORDER_SCOPE = frozenset({"sim", "pbft", "core", "baselines"})
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+_WALL_CLOCK = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns"},
+    "os": {"urandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "datetime": {"now", "utcnow", "today", "datetime.now",
+                 "datetime.utcnow", "datetime.today", "date.today"},
+}
+_TRACKED_MODULES = frozenset(_WALL_CLOCK) | {"random"}
+#: The only attribute of ``random`` callable in protocol code: the seeded
+#: generator class itself (instances are then used freely).
+_RANDOM_ALLOWED = frozenset({"Random"})
+
+
+class DeterminismRule(FileRule):
+    """Forbid wall clocks and ambient randomness in simulated code."""
+
+    id = "determinism"
+    description = ("wall-clock/ambient-randomness calls break seeded "
+                   "reproducibility")
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        if not (src.parts & _SIM_SCOPE):
+            return
+        module_aliases: dict[str, str] = {}
+        from_names: dict[str, tuple[str, str]] = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if root in _TRACKED_MODULES:
+                        module_aliases[alias.asname or root] = root
+            elif isinstance(node, ast.ImportFrom):
+                root = node.module.split(".")[0] if node.module else ""
+                if root in _TRACKED_MODULES:
+                    for alias in node.names:
+                        from_names[alias.asname or alias.name] = (root,
+                                                                  alias.name)
+        if not module_aliases and not from_names:
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            resolved = self._resolve(node.func, module_aliases, from_names)
+            if resolved is None:
+                continue
+            module, attr_path = resolved
+            message = self._verdict(module, attr_path)
+            if message is not None:
+                yield self.finding(src, node, message)
+
+    @staticmethod
+    def _resolve(func: ast.expr, module_aliases: dict[str, str],
+                 from_names: dict[str, tuple[str, str]]
+                 ) -> tuple[str, str] | None:
+        chain: list[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            chain.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        chain.reverse()
+        if node.id in module_aliases:
+            if not chain:
+                return None
+            return module_aliases[node.id], ".".join(chain)
+        if node.id in from_names:
+            module, attr = from_names[node.id]
+            return module, ".".join([attr, *chain])
+        return None
+
+    @staticmethod
+    def _verdict(module: str, attr_path: str) -> str | None:
+        if module == "random":
+            head = attr_path.split(".")[0]
+            if head in _RANDOM_ALLOWED:
+                return None
+            if head == "SystemRandom":
+                return ("random.SystemRandom draws OS entropy; use a "
+                        "seeded random.Random from repro.sim.rng")
+            return (f"module-level random.{head}() uses ambient global "
+                    "state; use a seeded random.Random from repro.sim.rng")
+        if attr_path in _WALL_CLOCK[module]:
+            if module in ("os", "uuid"):
+                return (f"{module}.{attr_path}() is nondeterministic; "
+                        "derive ids/bytes from the seeded RNG "
+                        "(repro.sim.rng)")
+            return (f"{module}.{attr_path}() reads the wall clock; "
+                    "simulated code must use the simulator clock "
+                    "(sim.now)")
+        return None
+
+
+# ----------------------------------------------------------------------
+# unordered-iter
+# ----------------------------------------------------------------------
+#: Consumers whose result does not depend on iteration order.
+_ORDER_FREE_CONSUMERS = frozenset({"len", "any", "all", "min", "max", "sum",
+                                   "sorted", "set", "frozenset"})
+
+
+def _produces_set(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class UnorderedIterationRule(FileRule):
+    """Forbid order-sensitive iteration over sets in protocol packages."""
+
+    id = "unordered-iter"
+    description = "set iteration order is not deterministic across runs"
+    _MESSAGE = ("iteration over a set is order-nondeterministic; wrap the "
+                "iterable in sorted(...)")
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        if not (src.parts & _ORDER_SCOPE):
+            return
+        set_names = self._set_names(src.tree)
+        exempt = self._order_free_comprehensions(src.tree)
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.For):
+                if self._is_set_expr(node.iter, set_names):
+                    yield self.finding(src, node, self._MESSAGE)
+            elif isinstance(node, (ast.ListComp, ast.GeneratorExp,
+                                   ast.DictComp)):
+                if id(node) in exempt:
+                    continue
+                for comp in node.generators:
+                    if self._is_set_expr(comp.iter, set_names):
+                        yield self.finding(src, node, self._MESSAGE)
+                        break
+
+    @staticmethod
+    def _set_names(tree: ast.Module) -> frozenset[str]:
+        """Names assigned *only* set-producing expressions, file-wide."""
+        as_set: set[str] = set()
+        as_other: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                targets = [t for t in node.targets if isinstance(t, ast.Name)]
+                value = node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                    and isinstance(node.target, ast.Name):
+                targets = [node.target]
+                value = node.value
+            else:
+                continue
+            bucket = as_set if _produces_set(value) else as_other
+            bucket.update(t.id for t in targets)
+        return frozenset(as_set - as_other)
+
+    @staticmethod
+    def _order_free_comprehensions(tree: ast.Module) -> set[int]:
+        """Comprehensions passed directly to order-insensitive consumers."""
+        exempt: set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None)
+            if name in _ORDER_FREE_CONSUMERS:
+                for arg in node.args:
+                    if isinstance(arg, (ast.ListComp, ast.GeneratorExp)):
+                        exempt.add(id(arg))
+        return exempt
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr, set_names: frozenset[str]) -> bool:
+        if _produces_set(node):
+            return True
+        return isinstance(node, ast.Name) and node.id in set_names
+
+
+# ----------------------------------------------------------------------
+# quorum-arith
+# ----------------------------------------------------------------------
+#: Variable names that denote a fault bound in this codebase.
+_F_NAMES = frozenset({"f", "big_f", "f_per_zone", "total_f"})
+
+
+def _is_f_expr(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _F_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _F_NAMES
+    if isinstance(node, ast.Subscript):
+        index = node.slice
+        return (isinstance(index, ast.Constant)
+                and index.value in _F_NAMES)
+    return False
+
+
+def _is_const(node: ast.expr, value: int) -> bool:
+    return isinstance(node, ast.Constant) and node.value == value
+
+
+def _mult_f(node: ast.expr, factor: int) -> bool:
+    """Matches ``factor * f`` (either operand order) with f-like f."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mult)):
+        return False
+    left, right = node.left, node.right
+    return ((_is_const(left, factor) and _is_f_expr(right))
+            or (_is_const(right, factor) and _is_f_expr(left)))
+
+
+class QuorumArithmeticRule(FileRule):
+    """Forbid inline quorum thresholds outside :mod:`repro.quorums`."""
+
+    id = "quorum-arith"
+    description = "quorum thresholds must come from repro.quorums"
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        if src.path.name == "quorums.py":
+            return
+        consumed: set[int] = set()
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.BinOp) or id(node) in consumed:
+                continue
+            matched = self._match(node, consumed)
+            if matched is not None:
+                yield self.finding(
+                    src, node,
+                    f"inline quorum arithmetic {matched}")
+
+    @staticmethod
+    def _match(node: ast.BinOp, consumed: set[int]) -> str | None:
+        if isinstance(node.op, ast.Add):
+            for term, one in ((node.left, node.right),
+                              (node.right, node.left)):
+                if not _is_const(one, 1):
+                    continue
+                if _mult_f(term, 2):
+                    consumed.add(id(term))
+                    return "(2*f + 1); use quorums.intra_zone_quorum(f)"
+                if _mult_f(term, 3):
+                    consumed.add(id(term))
+                    return "(3*f + 1); use quorums.group_size(f)"
+                if _is_f_expr(term):
+                    return ("(f + 1); use quorums.weak_quorum(f) or "
+                            "quorums.proxy_count(f)")
+                if (isinstance(term, ast.BinOp)
+                        and isinstance(term.op, ast.FloorDiv)
+                        and _is_const(term.right, 2)):
+                    consumed.add(id(term))
+                    return "(n//2 + 1); use quorums.zone_majority(n)"
+        if _mult_f(node, 3):
+            return "(3*f); derive sizes from quorums.group_size(f)"
+        if isinstance(node.op, ast.FloorDiv):
+            inner = node.left
+            if (isinstance(inner, ast.BinOp)
+                    and isinstance(inner.op, ast.Sub)
+                    and _is_const(inner.right, 1)):
+                if _is_const(node.right, 3):
+                    return "((n-1)//3); use quorums.max_faulty(n)"
+                if _is_const(node.right, 2):
+                    return "((n-1)//2); use quorums.two_level_big_f(n)"
+        return None
+
+
+# ----------------------------------------------------------------------
+# event-registry
+# ----------------------------------------------------------------------
+class EventRegistryRule(ProjectRule):
+    """Cross-check emitted, registered, and consumed event kinds."""
+
+    id = "event-registry"
+    description = ("every emitted kind is registered in EVENT_KINDS and "
+                   "every registered/consumed kind exists")
+
+    def check_project(self,
+                      files: Sequence[SourceFile]) -> Iterator[Finding]:
+        emits: list[tuple[str, SourceFile, ast.AST]] = []
+        registry: dict[str, tuple[SourceFile, ast.AST]] = {}
+        consumed: list[tuple[str, SourceFile, ast.AST]] = []
+        for src in files:
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    if (isinstance(func, ast.Attribute)
+                            and func.attr == "emit"
+                            and len(node.args) >= 2
+                            and isinstance(node.args[1], ast.Constant)
+                            and isinstance(node.args[1].value, str)):
+                        emits.append((node.args[1].value, src, node))
+                    continue
+                for target, value in _assignments(node):
+                    if not isinstance(value, ast.Dict):
+                        continue
+                    if (isinstance(target, ast.Name)
+                            and target.id == "EVENT_KINDS"):
+                        for key in value.keys:
+                            if (isinstance(key, ast.Constant)
+                                    and isinstance(key.value, str)):
+                                registry[key.value] = (src, key)
+                    elif (isinstance(target, ast.Attribute)
+                          and target.attr == "_handlers"):
+                        for key in value.keys:
+                            if (isinstance(key, ast.Constant)
+                                    and isinstance(key.value, str)):
+                                consumed.append((key.value, src, key))
+        emitted_kinds = {kind for kind, _, _ in emits}
+        for kind, src, node in emits:
+            if kind not in registry:
+                yield self.finding(
+                    src, node,
+                    f"emitted event kind {kind!r} is not declared in "
+                    "EVENT_KINDS (repro/obs/events.py)")
+        for kind, (src, node) in registry.items():
+            if kind not in emitted_kinds:
+                yield self.finding(
+                    src, node,
+                    f"registered event kind {kind!r} is never emitted; "
+                    "remove it or emit it")
+        for kind, src, node in consumed:
+            if kind not in registry:
+                yield self.finding(
+                    src, node,
+                    f"monitor consumes event kind {kind!r} that is not "
+                    "declared in EVENT_KINDS")
+            elif kind not in emitted_kinds:
+                yield self.finding(
+                    src, node,
+                    f"monitor consumes event kind {kind!r} that is never "
+                    "emitted")
+
+
+# ----------------------------------------------------------------------
+# message-totality
+# ----------------------------------------------------------------------
+class MessageTotalityRule(ProjectRule):
+    """Every ``Message`` subclass is registered and handled."""
+
+    id = "message-totality"
+    description = ("Message subclasses need a WIRE_MESSAGES entry and a "
+                   "registered handler")
+
+    def check_project(self,
+                      files: Sequence[SourceFile]) -> Iterator[Finding]:
+        subclasses: dict[str, tuple[SourceFile, ast.AST]] = {}
+        handled: set[str] = set()
+        wire: dict[str, tuple[SourceFile, ast.AST]] = {}
+        client_delivered: set[str] = set()
+        for src in files:
+            in_messages = "messages" in src.path.parts
+            for node in ast.walk(src.tree):
+                if isinstance(node, ast.ClassDef):
+                    if in_messages and any(
+                            _base_name(base) == "Message"
+                            for base in node.bases):
+                        subclasses[node.name] = (src, node)
+                    continue
+                if isinstance(node, ast.Call):
+                    func = node.func
+                    name = func.attr if isinstance(func, ast.Attribute) \
+                        else func.id if isinstance(func, ast.Name) else None
+                    if (name == "register_handler" and node.args
+                            and isinstance(node.args[0], ast.Name)):
+                        handled.add(node.args[0].id)
+                    continue
+                for target, value in _assignments(node):
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if (target.id == "WIRE_MESSAGES"
+                            and isinstance(value, ast.Dict)):
+                        for key in value.keys:
+                            if (isinstance(key, ast.Constant)
+                                    and isinstance(key.value, str)):
+                                wire[key.value] = (src, key)
+                    elif target.id == "CLIENT_DELIVERED":
+                        for leaf in ast.walk(value):
+                            if (isinstance(leaf, ast.Constant)
+                                    and isinstance(leaf.value, str)):
+                                client_delivered.add(leaf.value)
+        for name, (src, node) in subclasses.items():
+            if name not in wire:
+                yield self.finding(
+                    src, node,
+                    f"Message subclass {name} is not listed in "
+                    "WIRE_MESSAGES (repro/messages/registry.py)")
+            if name not in handled and name not in client_delivered:
+                yield self.finding(
+                    src, node,
+                    f"Message subclass {name} has no register_handler(...) "
+                    "call and is not CLIENT_DELIVERED")
+        for name, (src, node) in wire.items():
+            if name not in subclasses:
+                yield self.finding(
+                    src, node,
+                    f"stale WIRE_MESSAGES entry {name!r}: no such Message "
+                    "subclass exists")
+
+
+def _assignments(node: ast.AST):
+    """Yield (target, value) pairs for Assign/AnnAssign nodes."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            yield target, node.value
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        yield node.target, node.value
+
+
+def _base_name(base: ast.expr) -> str | None:
+    if isinstance(base, ast.Name):
+        return base.id
+    if isinstance(base, ast.Attribute):
+        return base.attr
+    return None
+
+
+def default_rules() -> list:
+    """The full rule set, in reporting order."""
+    return [
+        DeterminismRule(),
+        UnorderedIterationRule(),
+        QuorumArithmeticRule(),
+        EventRegistryRule(),
+        MessageTotalityRule(),
+    ]

@@ -20,6 +20,7 @@ from typing import Callable
 from repro.app.banking import BankingApp
 from repro.baselines.metadata_app import CombinedApp
 from repro.core.metadata import PolicySet
+from repro.core.quorums import group_size
 from repro.crypto.keys import KeyRegistry
 from repro.pbft.client import PBFTClient
 from repro.pbft.faults import Behavior
@@ -68,7 +69,8 @@ class FlatPBFTDeployment:
         for i, region in enumerate(self.regions):
             # 3f+1 nodes in the first region, 3f in every other (Z-1 fewer
             # nodes than Ziziphus in total, as the paper prescribes).
-            count = 3 * config.f_per_zone + (1 if i == 0 else 0)
+            full = group_size(config.f_per_zone)
+            count = full if i == 0 else full - 1
             for _ in range(count):
                 placement.append((f"n{counter}", region))
                 counter += 1

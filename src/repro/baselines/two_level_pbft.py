@@ -31,6 +31,7 @@ from repro.app.base import StateMachine
 from repro.core.client import MobileClient
 from repro.core.locks import LockTable
 from repro.core.metadata import GlobalMetadata, PolicySet
+from repro.core.quorums import group_size, two_level_big_f
 from repro.core.zone import ZoneDirectory, ZoneInfo
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
@@ -385,13 +386,13 @@ class TwoLevelDeployment:
 
         regions = regions_for_zones(config.num_zones)
         for i in range(config.num_zones):
-            members = tuple(f"z{i}n{j}" for j in range(3 * config.f + 1))
+            members = tuple(f"z{i}n{j}" for j in range(group_size(config.f)))
             self.directory.add_zone(ZoneInfo(
                 zone_id=f"z{i}", members=members, region=regions[i],
                 f=config.f))
         # Top level: Z zone representatives + F extra CA nodes => 3F+1.
-        big_f = (config.num_zones - 1) // 2
-        if config.num_zones != 2 * big_f + 1:
+        big_f = two_level_big_f(config.num_zones)
+        if config.num_zones % 2 == 0:
             raise ConfigurationError(
                 "two-level PBFT expects an odd number of zones (Z = 2F+1)")
         reps = [self.directory.zone(z).members[0]

@@ -7,6 +7,7 @@ Run single experiment points or whole paper figures from a shell::
     python -m repro figure fig4
     python -m repro analyze-assignment --zones 10 --zone-size 4 --byzantine 8
     python -m repro trace --out trace.jsonl --chrome trace.json
+    python -m repro lint --format json
 
 (Also installed as the ``repro`` console script.)
 """
@@ -82,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also write the forensic report JSON here")
     audit.add_argument("--stall-timeout-ms", type=float, default=10_000.0,
                        help="liveness watchdog threshold")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & protocol-safety static-analysis "
+             "suite over the codebase")
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      metavar="PATH",
+                      help="files or directories to lint "
+                           "(default: src/repro)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
 
     baseline = sub.add_parser(
         "bench-baseline",
@@ -187,6 +199,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             Path(args.report).write_text(monitor.report_json() + "\n")
             print(f"\nforensic report: {args.report}", file=sys.stderr)
         return 0 if monitor.clean else 3
+
+    if args.command == "lint":
+        from repro.analysis.lint import LintError, run_lint
+        try:
+            result = run_lint(args.paths)
+        except LintError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        print(result.to_json() if args.format == "json"
+              else result.to_text())
+        return result.exit_code
 
     if args.command == "bench-baseline":
         from repro.bench.baseline import write_baseline

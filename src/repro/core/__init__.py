@@ -1,5 +1,6 @@
 """Ziziphus core: zones, global/meta-data protocols, deployments."""
 
+from repro.core import quorums
 from repro.core.client import MobileClient
 from repro.core.clusters import ClusterConfig, ClusterEngine
 from repro.core.cross_zone import (CrossZoneConfig, CrossZoneEngine,
@@ -42,4 +43,5 @@ __all__ = [
     "ZoneDirectory",
     "ZoneInfo",
     "build_ziziphus",
+    "quorums",
 ]

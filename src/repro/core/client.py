@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
+from repro.core.quorums import weak_quorum
 from repro.core.zone import ZoneDirectory
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
@@ -174,7 +175,7 @@ class MobileClient(Process):
         key = digest((sender_zone, result))
         voters = self._replies.setdefault(key, set())
         voters.add(reply.sender)
-        if len(voters) < self.directory.zone(sender_zone).f + 1:
+        if len(voters) < weak_quorum(self.directory.zone(sender_zone).f):
             return
         self._complete(request, result)
 

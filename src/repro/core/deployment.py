@@ -21,6 +21,7 @@ from repro.core.clusters import ClusterConfig, ClusterEngine
 from repro.core.metadata import PolicySet
 from repro.core.migration_protocol import MigrationConfig
 from repro.core.node import ZiziphusNode
+from repro.core.quorums import group_size
 from repro.core.sync_protocol import SyncConfig
 from repro.core.zone import ZoneDirectory, ZoneInfo
 from repro.crypto.keys import KeyRegistry
@@ -102,7 +103,7 @@ class ZiziphusDeployment:
 
     def _add_zone(self, zone_id: str, cluster_id: str, region: Region) -> None:
         members = tuple(f"{zone_id}n{j}"
-                        for j in range(3 * self.config.f + 1))
+                        for j in range(group_size(self.config.f)))
         zone = ZoneInfo(zone_id=zone_id, members=members, region=region,
                         f=self.config.f, cluster_id=cluster_id)
         self.directory.add_zone(zone)

@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from repro.core.quorums import intra_zone_quorum
 from repro.crypto.certificates import QuorumCertificate
 from repro.crypto.keys import Signature
 from repro.crypto.threshold import combine_threshold
@@ -70,7 +71,7 @@ class EndorsementManager:
         self.members = tuple(zone_members)
         self.others = tuple(m for m in zone_members if m != host.node_id)
         self.f = f
-        self.quorum = 2 * f + 1
+        self.quorum = intra_zone_quorum(f)
         self._members_key = ",".join(self.members)
         self.view_provider = view_provider
         self.use_threshold = use_threshold

@@ -1,0 +1,17 @@
+"""Canonical quorum arithmetic for the protocol layers (paper §IV-§VI).
+
+The implementation lives in the dependency-free leaf :mod:`repro.quorums`
+(so ``crypto``/``pbft``/``obs`` can use it without import cycles); this
+module re-exports it as the canonical name the core protocol layers and
+the design docs refer to. The ``quorum-arith`` lint rule treats both
+files as the only places allowed to spell out ``2f+1``-style arithmetic.
+"""
+
+from repro.quorums import (group_size, intra_zone_quorum, max_faulty,
+                           proxy_count, two_level_big_f, two_thirds_quorum,
+                           weak_quorum, zone_majority)
+
+__all__ = [
+    "max_faulty", "group_size", "intra_zone_quorum", "weak_quorum",
+    "proxy_count", "zone_majority", "two_thirds_quorum", "two_level_big_f",
+]

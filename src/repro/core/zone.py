@@ -15,6 +15,8 @@ from dataclasses import dataclass
 from repro.crypto.certificates import CertificateVerifier, QuorumCertificate
 from repro.crypto.keys import KeyRegistry
 from repro.crypto.threshold import ThresholdCertificate, ThresholdVerifier
+from repro.core.quorums import (group_size, intra_zone_quorum, proxy_count,
+                                zone_majority)
 from repro.errors import ConfigurationError
 from repro.sim.latency import Region
 
@@ -32,7 +34,7 @@ class ZoneInfo:
     cluster_id: str = "cluster-0"
 
     def __post_init__(self) -> None:
-        if len(self.members) < 3 * self.f + 1:
+        if len(self.members) < group_size(self.f):
             raise ConfigurationError(
                 f"zone {self.zone_id} needs >= 3f+1 members "
                 f"(got {len(self.members)} for f={self.f})"
@@ -41,7 +43,7 @@ class ZoneInfo:
     @property
     def quorum(self) -> int:
         """Intra-zone certificate quorum: 2f+1."""
-        return 2 * self.f + 1
+        return intra_zone_quorum(self.f)
 
     def primary(self, view: int) -> str:
         """Primary of this zone in local view ``view``."""
@@ -54,7 +56,8 @@ class ZoneInfo:
         so at least one proxy is correct.
         """
         size = len(self.members)
-        return tuple(self.members[(view + k) % size] for k in range(self.f + 1))
+        return tuple(self.members[(view + k) % size]
+                     for k in range(proxy_count(self.f)))
 
 
 class ZoneDirectory:
@@ -118,7 +121,7 @@ class ZoneDirectory:
 
     def majority_quorum(self, zone_ids: list[str]) -> int:
         """Majority-of-zones quorum used for global consensus."""
-        return len(zone_ids) // 2 + 1
+        return zone_majority(len(zone_ids))
 
     # ------------------------------------------------------------------
     # Certificate validation
@@ -131,8 +134,8 @@ class ZoneDirectory:
         if cert.payload_digest != expected_digest:
             return False
         if isinstance(cert, QuorumCertificate):
-            return self._cert_verifier.is_valid(
-                cert, zone.quorum, frozenset(zone.members))
+            return self._cert_verifier.is_valid_zone(cert, zone.f,
+                                                     zone.members)
         if isinstance(cert, ThresholdCertificate):
             if cert.group != frozenset(zone.members):
                 return False

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.crypto.keys import KeyRegistry, Signature
 from repro.errors import InvalidCertificateError
+from repro.quorums import intra_zone_quorum
 
 __all__ = ["QuorumCertificate", "CertificateVerifier"]
 
@@ -87,6 +88,25 @@ class CertificateVerifier:
         """Boolean form of :meth:`validate`."""
         try:
             self.validate(certificate, quorum, allowed_signers)
+        except InvalidCertificateError:
+            return False
+        return True
+
+    def validate_zone(self, certificate: QuorumCertificate, f: int,
+                      members: tuple[str, ...] | frozenset[str]) -> None:
+        """Validate against a zone's membership and its canonical quorum.
+
+        The quorum is derived from ``f`` through
+        :func:`repro.quorums.intra_zone_quorum` so call sites cannot
+        pass an ad-hoc threshold.
+        """
+        self.validate(certificate, intra_zone_quorum(f), frozenset(members))
+
+    def is_valid_zone(self, certificate: QuorumCertificate, f: int,
+                      members: tuple[str, ...] | frozenset[str]) -> bool:
+        """Boolean form of :meth:`validate_zone`."""
+        try:
+            self.validate_zone(certificate, f, members)
         except InvalidCertificateError:
             return False
         return True

@@ -1,7 +1,8 @@
 """Wire messages for every protocol in the reproduction."""
 
-from repro.messages.base import (Signed, nested_signature_units, sign_message,
-                                 verify_signed)
+from repro.messages.base import (Message, Signed, decode_message,
+                                 encode_message, nested_signature_units,
+                                 sign_message, verify_signed)
 from repro.messages.client import ClientReply, ClientRequest, MigrationRequest
 from repro.messages.cluster import CrossCommit, CrossPropose, Prepared
 from repro.messages.endorse import EndorsePrepare, EndorsePrePrepare, EndorseVote
@@ -30,6 +31,7 @@ __all__ = [
     "EndorseVote",
     "GENESIS_BALLOT",
     "GlobalCommit",
+    "Message",
     "MigrationRequest",
     "NewView",
     "Prepare",
@@ -45,6 +47,8 @@ __all__ = [
     "accept_body",
     "accepted_body",
     "commit_body",
+    "decode_message",
+    "encode_message",
     "nested_signature_units",
     "promise_body",
     "propose_body",

@@ -5,11 +5,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
+from repro.messages.base import Message
+
 __all__ = ["ClientRequest", "MigrationRequest", "ClientReply"]
 
 
 @dataclass(frozen=True)
-class ClientRequest:
+class ClientRequest(Message):
     """A local transaction on the client's data in its current zone.
 
     Attributes:
@@ -25,7 +27,7 @@ class ClientRequest:
 
 
 @dataclass(frozen=True)
-class MigrationRequest:
+class MigrationRequest(Message):
     """MIG-REQUEST — a global transaction moving a client between zones.
 
     Executing the embedded ``operation`` updates the global system meta-data
@@ -40,7 +42,7 @@ class MigrationRequest:
 
 
 @dataclass(frozen=True)
-class ClientReply:
+class ClientReply(Message):
     """REPLY from a node to a client; f+1 matching replies complete a txn."""
 
     view: int

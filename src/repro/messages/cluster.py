@@ -15,14 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.crypto.certificates import QuorumCertificate
-from repro.messages.base import Signed
+from repro.messages.base import Message, Signed
 from repro.messages.sync import Ballot
 
 __all__ = ["CrossPropose", "Prepared", "CrossCommit"]
 
 
 @dataclass(frozen=True)
-class CrossPropose:
+class CrossPropose(Message):
     """CROSS-PROPOSE from destination-zone proxies to the source zone.
 
     ``cert`` is the destination zone's 2f+1 certificate over its
@@ -38,7 +38,7 @@ class CrossPropose:
 
 
 @dataclass(frozen=True)
-class Prepared:
+class Prepared(Message):
     """PREPARED from source-zone proxies to the destination zone.
 
     ``cert`` is the source zone's certificate over its commit-phase body
@@ -55,7 +55,7 @@ class Prepared:
 
 
 @dataclass(frozen=True)
-class CrossCommit:
+class CrossCommit(Message):
     """Combined COMMIT broadcast to every node of both clusters.
 
     Each side validates and executes the half belonging to its own

@@ -20,12 +20,13 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.crypto.keys import Signature
+from repro.messages.base import Message
 
 __all__ = ["EndorsePrePrepare", "EndorsePrepare", "EndorseVote"]
 
 
 @dataclass(frozen=True)
-class EndorsePrePrepare:
+class EndorsePrePrepare(Message):
     """Primary's pre-prepare for one endorsement instance.
 
     ``payload`` carries the full context nodes need to validate what they
@@ -42,7 +43,7 @@ class EndorsePrePrepare:
 
 
 @dataclass(frozen=True)
-class EndorsePrepare:
+class EndorsePrepare(Message):
     """PBFT-style prepare within an endorsement instance."""
 
     instance: str
@@ -52,7 +53,7 @@ class EndorsePrepare:
 
 
 @dataclass(frozen=True)
-class EndorseVote:
+class EndorseVote(Message):
     """A node's vote; 2f+1 of these form a quorum certificate.
 
     ``share`` is the node's detached signature over ``endorse_digest``

@@ -12,6 +12,7 @@ from typing import Any
 
 from repro.crypto.certificates import QuorumCertificate
 from repro.crypto.digest import digest
+from repro.messages.base import Message
 from repro.messages.sync import Ballot
 
 __all__ = ["StateTransfer", "state_body"]
@@ -23,7 +24,7 @@ def state_body(ballot: Ballot, client_id: str, records_digest: bytes) -> bytes:
 
 
 @dataclass(frozen=True)
-class StateTransfer:
+class StateTransfer(Message):
     """STATE — the certified client records sent from source to destination.
 
     ``records`` is excluded from this object's digest; integrity comes from

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.messages.base import Signed
+from repro.messages.base import Message, Signed
 
 __all__ = [
     "PrePrepare",
@@ -23,7 +23,7 @@ __all__ = [
 
 
 @dataclass(frozen=True)
-class PrePrepare:
+class PrePrepare(Message):
     """Primary's ordering proposal for a batch at (view, sequence)."""
 
     view: int
@@ -34,7 +34,7 @@ class PrePrepare:
 
 
 @dataclass(frozen=True)
-class Prepare:
+class Prepare(Message):
     """Backup's agreement with the pre-prepare at (view, sequence)."""
 
     view: int
@@ -44,7 +44,7 @@ class Prepare:
 
 
 @dataclass(frozen=True)
-class Commit:
+class Commit(Message):
     """Commit vote; 2f+1 matching commits make the batch committed-local."""
 
     view: int
@@ -54,7 +54,7 @@ class Commit:
 
 
 @dataclass(frozen=True)
-class CheckpointMsg:
+class CheckpointMsg(Message):
     """Vote that the replica reached ``state_digest`` after ``sequence``."""
 
     sequence: int
@@ -71,7 +71,7 @@ class PreparedProof:
 
 
 @dataclass(frozen=True)
-class ViewChange:
+class ViewChange(Message):
     """VIEW-CHANGE into ``new_view`` carrying prepared evidence."""
 
     new_view: int
@@ -81,7 +81,7 @@ class ViewChange:
 
 
 @dataclass(frozen=True)
-class NewView:
+class NewView(Message):
     """NEW-VIEW from the new primary: 2f+1 view-changes + re-proposals."""
 
     new_view: int

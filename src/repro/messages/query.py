@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.messages.base import Message
 from repro.messages.sync import Ballot
 
 __all__ = ["ResponseQuery"]
 
 
 @dataclass(frozen=True)
-class ResponseQuery:
+class ResponseQuery(Message):
     """Query for the missing response of a global transaction phase.
 
     ``phase`` names what the sender is waiting for (e.g. ``"commit"``,

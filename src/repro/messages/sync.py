@@ -19,7 +19,7 @@ from typing import Any
 
 from repro.crypto.certificates import QuorumCertificate
 from repro.crypto.digest import digest
-from repro.messages.base import Signed
+from repro.messages.base import Message, Signed
 
 __all__ = [
     "Ballot",
@@ -93,7 +93,7 @@ def commit_body(ballot: Ballot, prev_ballot: Ballot,
 
 
 @dataclass(frozen=True)
-class Propose:
+class Propose(Message):
     """PROPOSE from the global primary to every node of every zone.
 
     ``requests`` is the batch of signed migration requests ordered under
@@ -109,7 +109,7 @@ class Propose:
 
 
 @dataclass(frozen=True)
-class Promise:
+class Promise(Message):
     """PROMISE from a follower zone's primary back to the initiator zone."""
 
     view: int
@@ -122,7 +122,7 @@ class Promise:
 
 
 @dataclass(frozen=True)
-class Accept:
+class Accept(Message):
     """ACCEPT from the global primary to every node of every zone.
 
     Under the stable-leader optimisation there is no PROPOSE phase, so the
@@ -140,7 +140,7 @@ class Accept:
 
 
 @dataclass(frozen=True)
-class Accepted:
+class Accepted(Message):
     """ACCEPTED from a follower zone's primary back to the initiator zone."""
 
     view: int
@@ -155,7 +155,7 @@ class Accepted:
 
 
 @dataclass(frozen=True)
-class GlobalCommit:
+class GlobalCommit(Message):
     """COMMIT from the global primary; executing it updates the meta-data.
 
     Carries the full signed request batch so every node can execute even

@@ -23,7 +23,7 @@ __all__ = [
     "PHASE_ENDORSE", "PHASE_PROPOSE", "PHASE_PROMISE", "PHASE_ACCEPT",
     "PHASE_ACCEPTED", "PHASE_COMMIT", "PHASE_GLOBAL_TXN",
     "PHASE_MIGRATION_STATE", "PHASE_MIGRATION_COPY", "PHASE_CROSS_CLUSTER",
-    "PHASE_PBFT", "ALL_PHASES",
+    "PHASE_PBFT", "ALL_PHASES", "EVENT_KINDS", "is_known_kind",
 ]
 
 #: Intra-zone endorsement round (Algorithms 1 and 2 building block).
@@ -54,6 +54,57 @@ ALL_PHASES = (
     PHASE_ACCEPTED, PHASE_COMMIT, PHASE_GLOBAL_TXN, PHASE_MIGRATION_STATE,
     PHASE_MIGRATION_COPY, PHASE_CROSS_CLUSTER, PHASE_PBFT,
 )
+
+#: Canonical registry of every trace-event kind the system emits, with a
+#: one-line meaning. The ``event-registry`` lint rule enforces this in
+#: both directions — every ``obs.emit(ts, "<kind>", ...)`` call site in
+#: ``src/repro`` must appear here, and every kind listed here must be
+#: emitted somewhere — so a typo'd kind cannot silently disable a
+#: conformance-monitor checker or rot in the registry. The monitor and
+#: ``repro audit`` flag kinds outside this registry instead of ignoring
+#: them.
+EVENT_KINDS: dict[str, str] = {
+    # Simulated network and process fabric.
+    "net.send": "message handed to the network for delivery",
+    "net.drop": "message dropped (fault rule, partition, disconnect)",
+    "net.move": "node migrated to another region mid-run",
+    "net.partition": "partition installed between node groups",
+    "net.drop_rate": "probabilistic drop rule installed or cleared",
+    "net.disconnect": "node taken offline",
+    "net.reconnect": "node brought back online",
+    "net.clear_faults": "all fault-injection rules removed",
+    "proc.deliver": "verified envelope dispatched on the receiving node",
+    "host.invalid": "inbound envelope failed signature verification",
+    "sample.node": "periodic queue-depth / utilization sample",
+    # Intra-zone PBFT consensus.
+    "pbft.preprepare": "pre-prepare observed (claimed digest, pre-check)",
+    "pbft.commit": "batch committed-local with its commit signer set",
+    "pbft.execute": "committed batch applied to the state machine",
+    # Endorsement rounds and certificates.
+    "endorse.preprepare": "endorsement pre-prepare observed",
+    "cert.check": "certificate validity verdict at a receiver",
+    # Top-level data-sync protocol (global transactions).
+    "sync.start": "global transaction entered the top-level protocol",
+    "sync.promise": "PROMISE from a zone for a ballot",
+    "sync.accepted": "ACCEPTED from a zone for a ballot",
+    "sync.commit": "global commit observed for a ballot",
+    "sync.execute": "global transaction executed on a node",
+    # Data migration protocol.
+    "migration.executed": "migration decision executed (source/dest)",
+    "migration.state_sent": "source zone shipped the client state R(c)",
+    "migration.applied": "destination node applied the shipped state",
+    # Cross-cluster coordination.
+    "cross.propose_sent": "CROSS-PROPOSE sent by destination proxies",
+    "cross.commit_sent": "CROSS-COMMIT sent to the source cluster",
+    "cross.prepared_sent": "PREPARED sent by source proxies",
+    # Conformance monitor output.
+    "monitor.violation": "online monitor flagged an invariant violation",
+}
+
+
+def is_known_kind(kind: str) -> bool:
+    """Whether ``kind`` is part of the canonical event registry."""
+    return kind in EVENT_KINDS
 
 
 @dataclass(frozen=True)

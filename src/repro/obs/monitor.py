@@ -37,6 +37,9 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.obs.events import is_known_kind
+from repro.quorums import intra_zone_quorum, max_faulty, zone_majority
+
 __all__ = ["MonitorConfig", "MonitorTopology", "ProtocolMonitor",
            "Violation"]
 
@@ -99,7 +102,7 @@ class MonitorTopology:
         if group is not None:
             f = getattr(deployment, "total_f", None)
             if f is None:
-                f = (len(group) - 1) // 3
+                f = max_faulty(len(group))
             return cls.single_group(group, f)
         return cls()
 
@@ -127,7 +130,7 @@ class MonitorTopology:
 
     def quorum(self, zone_id: str) -> int | None:
         zone = self.zones.get(zone_id)
-        return 2 * zone["f"] + 1 if zone else None
+        return intra_zone_quorum(zone["f"]) if zone else None
 
     def cluster_of(self, zone_id: str) -> str | None:
         zone = self.zones.get(zone_id)
@@ -137,7 +140,7 @@ class MonitorTopology:
         """Majority quorum over the zones of ``zone_id``'s cluster."""
         cluster = self.cluster_of(zone_id)
         zone_ids = self.clusters.get(cluster or "", [])
-        return len(zone_ids) // 2 + 1 if zone_ids else None
+        return zone_majority(len(zone_ids)) if zone_ids else None
 
 
 def _ballot_zone(ballot_key: str) -> str:
@@ -220,7 +223,18 @@ class ProtocolMonitor:
     # ------------------------------------------------------------------
     def on_event(self, ts: float, kind: str, node: str,
                  fields: dict) -> None:
-        """Dispatch one bus event into the matching checker."""
+        """Dispatch one bus event into the matching checker.
+
+        Kinds outside the canonical registry are flagged rather than
+        silently ignored: an unknown kind in a trace means either a
+        corrupted/foreign trace or an emitter the registry (and hence the
+        checkers) never heard of. Both the online path and ``repro
+        audit`` replay go through here, so the verdicts stay identical.
+        """
+        if not is_known_kind(kind):
+            self._flag(round(ts, 6), "unknown-event-kind", node,
+                       dedup_key=kind, event_kind=kind)
+            return
         handler = self._handlers.get(kind)
         if handler is not None:
             # Round exactly like the JSONL exporter so offline replay
@@ -293,7 +307,7 @@ class ProtocolMonitor:
     def _on_pbft_commit(self, ts: float, node: str, f: dict) -> None:
         self.checked["pbft.commit"] += 1
         members = f["group"].split(",")
-        quorum = 2 * f["f"] + 1
+        quorum = intra_zone_quorum(f["f"])
         signers = f["signers"]
         distinct = set(signers)
         reason = ""

@@ -14,6 +14,7 @@ from typing import Any, Callable
 from repro.messages.base import Signed
 from repro.messages.pbft import CheckpointMsg
 from repro.pbft.host import HostNode
+from repro.quorums import intra_zone_quorum
 from repro.storage.checkpoint import Checkpoint, CheckpointStore
 
 __all__ = ["CheckpointManager"]
@@ -32,7 +33,7 @@ class CheckpointManager:
         self.app = app
         self.period = period
         self.on_stable = on_stable
-        self.store = CheckpointStore(quorum=2 * f + 1)
+        self.store = CheckpointStore(quorum=intra_zone_quorum(f))
         self._announced_stable = 0
 
     def register(self) -> None:

@@ -16,6 +16,7 @@ from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.messages.base import Signed, verify_signed
 from repro.messages.client import ClientReply, ClientRequest
+from repro.quorums import weak_quorum
 from repro.sim.events import Simulator
 from repro.sim.network import Network
 from repro.sim.process import CostModel, Process
@@ -54,6 +55,7 @@ class PBFTClient(Process):
         self.keys = keys
         self.group = tuple(group)
         self.f = f
+        self._reply_quorum = weak_quorum(f)
         self.retransmit_ms = retransmit_ms
         self.view_hint = 0
         self.timestamp = 0
@@ -67,7 +69,7 @@ class PBFTClient(Process):
     @property
     def reply_quorum(self) -> int:
         """f+1 matching replies guarantee one correct replica executed."""
-        return self.f + 1
+        return self._reply_quorum
 
     def primary_hint(self) -> str:
         """Best guess of the current primary, from reply view numbers."""

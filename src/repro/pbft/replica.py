@@ -22,6 +22,7 @@ from repro.messages.client import ClientReply, ClientRequest
 from repro.messages.pbft import Commit, Prepare, PrePrepare
 from repro.pbft.checkpointing import CheckpointManager
 from repro.pbft.host import HostNode
+from repro.quorums import group_size, intra_zone_quorum
 
 __all__ = ["PBFTConfig", "PBFTReplica", "Slot"]
 
@@ -77,7 +78,7 @@ class PBFTReplica:
                  reply_fn: Callable[[Signed, Any], None] | None = None,
                  accept_request: Callable[[ClientRequest], bool] | None = None,
                  ) -> None:
-        if len(group) < 3 * f + 1:
+        if len(group) < group_size(f):
             raise ConfigurationError(
                 f"PBFT needs >= 3f+1 replicas (got {len(group)} for f={f})"
             )
@@ -85,6 +86,7 @@ class PBFTReplica:
         self.group = tuple(group)
         self.others = tuple(n for n in group if n != host.node_id)
         self.f = f
+        self._quorum = intra_zone_quorum(f)
         #: Stable consensus-instance key for conformance-monitor events
         #: (a node may host several replicas, e.g. local + global PBFT).
         self._group_key = ",".join(self.group)
@@ -146,7 +148,7 @@ class PBFTReplica:
     @property
     def quorum(self) -> int:
         """Certificate quorum: 2f+1."""
-        return 2 * self.f + 1
+        return self._quorum
 
     @property
     def low_water_mark(self) -> int:

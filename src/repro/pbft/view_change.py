@@ -20,6 +20,7 @@ from typing import TYPE_CHECKING
 from repro.crypto.digest import digest
 from repro.messages.base import Signed, verify_signed
 from repro.messages.pbft import NewView, PreparedProof, PrePrepare, ViewChange
+from repro.quorums import weak_quorum
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.pbft.replica import PBFTReplica
@@ -116,7 +117,7 @@ class ViewChangeManager:
         # smallest such view so a correct replica is never left behind.
         if replica.view_active:
             higher = {v for v, msgs in self._vc_messages.items()
-                      if v > replica.view and len(msgs) >= replica.f + 1}
+                      if v > replica.view and len(msgs) >= weak_quorum(replica.f)}
             if higher:
                 self.initiate(min(higher))
                 return

@@ -1,0 +1,279 @@
+"""Tests for the determinism & protocol-safety lint suite (``repro lint``)."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import LintError, run_lint
+from repro.cli import main
+
+SRC_REPRO = Path(repro.__file__).parent
+
+
+def lint_snippet(tmp_path, relpath, code):
+    """Write ``code`` at ``relpath`` under tmp_path and lint the tree."""
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(code)
+    return run_lint([tmp_path])
+
+
+def rules_of(result):
+    return [finding.rule for finding in result.findings]
+
+
+# ----------------------------------------------------------------------
+# determinism
+# ----------------------------------------------------------------------
+def test_determinism_flags_wall_clock_and_ambient_randomness(tmp_path):
+    result = lint_snippet(tmp_path, "pbft/bad.py", (
+        "import time\n"
+        "import random\n"
+        "import os\n"
+        "import uuid\n"
+        "from datetime import datetime\n"
+        "def run():\n"
+        "    return (time.time(), random.random(), os.urandom(4),\n"
+        "            uuid.uuid4(), datetime.now())\n"
+    ))
+    assert rules_of(result).count("determinism") == 5
+    assert result.exit_code == 1
+
+
+def test_determinism_tracks_import_aliases(tmp_path):
+    result = lint_snippet(tmp_path, "sim/bad.py", (
+        "import time as clock\n"
+        "from random import randint as roll\n"
+        "def run():\n"
+        "    return clock.monotonic(), roll(1, 6)\n"
+    ))
+    assert rules_of(result) == ["determinism", "determinism"]
+
+
+def test_determinism_allows_seeded_random_and_sim_scope_only(tmp_path):
+    clean = lint_snippet(tmp_path, "core/good.py", (
+        "import random\n"
+        "def make(seed):\n"
+        "    return random.Random(seed)\n"
+    ))
+    assert clean.findings == []
+    # Same call outside the simulated packages is out of scope.
+    out_of_scope = lint_snippet(tmp_path, "bench/tooling.py",
+                                "import time\nNOW = time.time()\n")
+    assert out_of_scope.findings == []
+
+
+def test_determinism_suppression_is_counted_not_silent(tmp_path):
+    result = lint_snippet(tmp_path, "pbft/noted.py", (
+        "import time\n"
+        "T = time.time()  # lint: allow[determinism]\n"
+    ))
+    assert result.findings == []
+    assert [f.rule for f in result.suppressed] == ["determinism"]
+    assert result.exit_code == 0
+
+
+# ----------------------------------------------------------------------
+# unordered-iter
+# ----------------------------------------------------------------------
+def test_unordered_iter_flags_set_loops_and_comprehensions(tmp_path):
+    result = lint_snippet(tmp_path, "core/bad.py", (
+        "def run(nodes):\n"
+        "    pending = set(nodes)\n"
+        "    for node in pending:\n"
+        "        print(node)\n"
+        "    return [n for n in frozenset(nodes)]\n"
+    ))
+    assert rules_of(result) == ["unordered-iter", "unordered-iter"]
+
+
+def test_unordered_iter_accepts_sorted_and_order_free_consumers(tmp_path):
+    result = lint_snippet(tmp_path, "core/good.py", (
+        "def run(nodes):\n"
+        "    pending = set(nodes)\n"
+        "    for node in sorted(pending):\n"
+        "        print(node)\n"
+        "    total = sum(1 for n in pending)\n"
+        "    biggest = max(n for n in pending)\n"
+        "    return total, biggest, len(pending)\n"
+    ))
+    assert result.findings == []
+
+
+def test_unordered_iter_out_of_scope_in_crypto(tmp_path):
+    result = lint_snippet(tmp_path, "obs/good.py", (
+        "def run(nodes):\n"
+        "    for node in set(nodes):\n"
+        "        print(node)\n"
+    ))
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# quorum-arith
+# ----------------------------------------------------------------------
+def test_quorum_arith_flags_inline_thresholds(tmp_path):
+    result = lint_snippet(tmp_path, "pbft/bad.py", (
+        "def thresholds(f, zone, nodes):\n"
+        "    return (2 * f + 1, f + 1, 3 * f + 1,\n"
+        "            len(nodes) // 2 + 1, (len(nodes) - 1) // 3,\n"
+        "            2 * zone['f'] + 1)\n"
+    ))
+    assert rules_of(result).count("quorum-arith") == 6
+
+
+def test_quorum_arith_exempts_quorums_module_and_plain_math(tmp_path):
+    result = lint_snippet(tmp_path, "core/quorums.py",
+                          "def intra_zone_quorum(f):\n    return 2 * f + 1\n")
+    assert result.findings == []
+    math = lint_snippet(tmp_path, "analysis/counts.py", (
+        "def messages(n):\n"
+        "    return 2 * (n - 1) + (n - 1) ** 2\n"
+    ))
+    assert math.findings == []
+
+
+# ----------------------------------------------------------------------
+# event-registry
+# ----------------------------------------------------------------------
+EVENTS_FIXTURE = 'EVENT_KINDS = {"net.send": "doc", "ghost.kind": "doc"}\n'
+
+
+def test_event_registry_cross_checks_both_directions(tmp_path):
+    (tmp_path / "events.py").write_text(EVENTS_FIXTURE)
+    result = lint_snippet(tmp_path, "bus.py", (
+        "class Bus:\n"
+        "    def go(self, ts):\n"
+        '        self.emit(ts, "net.send", node="a")\n'
+        '        self.emit(ts, "rogue.kind", node="b")\n'
+    ))
+    rules = rules_of(result)
+    assert rules.count("event-registry") == 2
+    messages = " ".join(f.message for f in result.findings)
+    assert "rogue.kind" in messages          # emitted but unregistered
+    assert "ghost.kind" in messages          # registered but never emitted
+
+
+def test_event_registry_checks_monitor_consumption(tmp_path):
+    (tmp_path / "events.py").write_text(
+        'EVENT_KINDS = {"net.send": "doc"}\n')
+    (tmp_path / "bus.py").write_text(
+        "class Bus:\n"
+        "    def go(self, ts):\n"
+        '        self.emit(ts, "net.send")\n')
+    result = lint_snippet(tmp_path, "monitor.py", (
+        "class Mon:\n"
+        "    def __init__(self):\n"
+        '        self._handlers = {"net.send": print, "phantom": print}\n'
+    ))
+    assert rules_of(result) == ["event-registry"]
+    assert "phantom" in result.findings[0].message
+
+
+# ----------------------------------------------------------------------
+# message-totality
+# ----------------------------------------------------------------------
+def test_message_totality_flags_orphans_and_stale_entries(tmp_path):
+    result = lint_snippet(tmp_path, "messages/defs.py", (
+        "class Message:\n"
+        "    __slots__ = ()\n"
+        "class Handled(Message):\n"
+        "    pass\n"
+        "class Orphan(Message):\n"
+        "    pass\n"
+        'WIRE_MESSAGES = {"Handled": Handled, "Ghost": None}\n'
+        "def setup(host):\n"
+        "    host.register_handler(Handled, print)\n"
+    ))
+    rules = rules_of(result)
+    assert rules.count("message-totality") == 3
+    messages = " ".join(f.message for f in result.findings)
+    assert "Orphan" in messages
+    assert "Ghost" in messages
+
+
+def test_message_totality_accepts_client_delivered(tmp_path):
+    result = lint_snippet(tmp_path, "messages/defs.py", (
+        "class Message:\n"
+        "    __slots__ = ()\n"
+        "class Reply(Message):\n"
+        "    pass\n"
+        'WIRE_MESSAGES = {"Reply": Reply}\n'
+        'CLIENT_DELIVERED = frozenset({"Reply"})\n'
+    ))
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# engine / report formats
+# ----------------------------------------------------------------------
+def test_json_report_schema(tmp_path):
+    target = tmp_path / "pbft" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\nT = time.time()\n")
+    code = main(["lint", str(tmp_path), "--format", "json"])
+    assert code == 1
+
+
+def test_json_report_schema_fields(tmp_path, capsys):
+    target = tmp_path / "pbft" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import time\nT = time.time()\n")
+    main(["lint", str(tmp_path), "--format", "json"])
+    report = json.loads(capsys.readouterr().out)
+    assert report["format"] == "repro-lint"
+    assert report["version"] == 1
+    assert report["files"] == 1
+    assert report["counts"] == {"determinism": 1}
+    (finding,) = report["findings"]
+    assert set(finding) == {"rule", "severity", "path", "line", "col",
+                            "message"}
+    assert finding["rule"] == "determinism"
+    assert finding["severity"] == "error"
+    assert finding["line"] == 2
+    assert report["suppressed"] == []
+
+
+def test_text_report_names_the_rule(tmp_path, capsys):
+    target = tmp_path / "core" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("def q(f):\n    return 2 * f + 1\n")
+    code = main(["lint", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "[quorum-arith]" in out
+    assert "bad.py:2:" in out
+    assert "1 problem (0 suppressed)" in out
+
+
+def test_missing_path_exits_2(capsys):
+    code = main(["lint", "does/not/exist"])
+    assert code == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_syntax_error_reported_as_lint_error(tmp_path):
+    (tmp_path / "broken.py").write_text("def broken(:\n")
+    with pytest.raises(LintError):
+        run_lint([tmp_path])
+
+
+# ----------------------------------------------------------------------
+# self-check: the shipped tree lints clean
+# ----------------------------------------------------------------------
+def test_src_repro_lints_clean():
+    result = run_lint([SRC_REPRO])
+    assert result.findings == [], "\n".join(
+        f.render() for f in result.findings)
+    # Zero suppressions allowed in the protocol-critical packages.
+    protected = {"sim", "pbft", "core"}
+    bad = [f for f in result.suppressed
+           if protected & set(Path(f.path).parts)]
+    assert bad == [], "\n".join(f.render() for f in bad)
+
+
+def test_cli_self_check_exits_zero(capsys):
+    assert main(["lint", str(SRC_REPRO)]) == 0
+    assert "clean" in capsys.readouterr().out

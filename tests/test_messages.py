@@ -93,3 +93,143 @@ def test_body_helpers_are_stable():
     ballot = Ballot(4, "z1")
     assert propose_body(ballot, b"d") == propose_body(Ballot(4, "z1"), b"d")
     assert propose_body(ballot, b"d") != propose_body(Ballot(5, "z1"), b"d")
+
+
+# ----------------------------------------------------------------------
+# Wire codec and registry totality
+# ----------------------------------------------------------------------
+def test_codec_round_trips_a_nested_message(keys):
+    from repro.crypto.digest import digest as _digest
+    from repro.messages.base import decode_message, encode_message
+
+    payload = propose_body(Ballot(1, "z0"), b"d")
+    cert = QuorumCertificate.aggregate(
+        payload, [keys.sign(f"n{i}", payload) for i in range(3)])
+    propose = Propose(view=0, ballot=Ballot(1, "z0"),
+                      requests=(signed_request(keys),), cert=cert,
+                      sender="n0")
+    env = sign_message(keys, "n0", propose)
+    decoded = decode_message(encode_message(env))
+    assert decoded == env
+    assert _digest(decoded.payload) == _digest(env.payload)
+    assert verify_signed(keys, decoded)
+
+
+def test_codec_round_trips_every_wire_message(keys):
+    """Construct a representative instance of each registered message."""
+    from repro.crypto.digest import digest as _digest
+    from repro.messages import (Accept, Accepted, CheckpointMsg,
+                                CheckpointRef, ClientReply, Commit,
+                                CrossCommit, CrossPropose,
+                                EndorsePrepare, EndorsePrePrepare,
+                                EndorseVote, GlobalCommit, NewView,
+                                Prepared, PreparedProof, Promise,
+                                ResponseQuery, StateTransfer, ViewChange)
+    from repro.messages.base import decode_message, encode_message
+    from repro.messages.pbft import Prepare as PbftPrepare
+
+    ballot = Ballot(2, "z0")
+    prev = GENESIS_BALLOT
+    body = propose_body(ballot, b"d")
+    cert = QuorumCertificate.aggregate(
+        body, [keys.sign(f"n{i}", body) for i in range(3)])
+    req = signed_request(keys)
+    pp = sign_message(keys, "n0", PrePrepare(view=0, sequence=1,
+                                             batch_digest=b"d",
+                                             batch=(req,), sender="n0"))
+    prep = sign_message(keys, "n1", PbftPrepare(view=0, sequence=1,
+                                                batch_digest=b"d",
+                                                sender="n1"))
+    ckpt = CheckpointRef(zone_id="z0", sequence=10, state_digest=b"s",
+                         snapshot={"c": {"bal": 5}})
+    samples = [
+        ClientRequest(operation=("op",), timestamp=1, sender="c"),
+        MigrationRequest(operation=("mig",), timestamp=1, sender="c",
+                         source_zone="z0", dest_zone="z1"),
+        ClientReply(view=0, timestamp=1, client_id="c", result=("ok", 1),
+                    sender="n0"),
+        CrossPropose(view=0, dst_ballot=ballot, dst_prev_ballot=prev,
+                     request=req, cert=cert, sender="n0"),
+        Prepared(view=0, src_ballot=ballot, src_prev_ballot=prev,
+                 request_digest=b"d", cert=cert, sender="n0"),
+        CrossCommit(view=0, dst_ballot=ballot, dst_prev_ballot=prev,
+                    src_ballot=ballot, src_prev_ballot=prev, request=req,
+                    cert_dst=cert, cert_src=cert, sender="n0"),
+        EndorsePrePrepare(instance="i", view=0, payload=("ctx", 1),
+                          endorse_digest=b"e", use_prepare=True,
+                          sender="n0"),
+        EndorsePrepare(instance="i", view=0, endorse_digest=b"e",
+                       sender="n1"),
+        EndorseVote(instance="i", view=0, endorse_digest=b"e",
+                    share=keys.sign("n1", b"e"), sender="n1"),
+        StateTransfer(view=0, ballot=ballot, client_id="c",
+                      records={"c": {"bal": 7}}, records_digest=b"r",
+                      cert=cert, sender="n0"),
+        PrePrepare(view=0, sequence=1, batch_digest=b"d", batch=(req,),
+                   sender="n0"),
+        PbftPrepare(view=0, sequence=1, batch_digest=b"d", sender="n1"),
+        Commit(view=0, sequence=1, batch_digest=b"d", sender="n1"),
+        CheckpointMsg(sequence=10, state_digest=b"s", sender="n1"),
+        ViewChange(new_view=1, last_stable_sequence=0,
+                   prepared_proofs=(PreparedProof(pre_prepare=pp,
+                                                  prepares=(prep,)),),
+                   sender="n1"),
+        NewView(new_view=1, view_changes=(pp,), pre_prepares=(pp,),
+                sender="n2"),
+        ResponseQuery(view=0, ballot=ballot, request_digest=b"d",
+                      phase="commit", zone_id="z0", sender="n0"),
+        Propose(view=0, ballot=ballot, requests=(req,), cert=cert,
+                sender="n0"),
+        Promise(view=0, ballot=ballot, prev_ballot=prev, zone_id="z1",
+                request_digest=b"d", cert=cert, sender="n4"),
+        Accept(view=0, ballot=ballot, prev_ballot=prev,
+               request_digest=b"d", cert=cert, sender="n0",
+               requests=(req,)),
+        Accepted(view=0, ballot=ballot, prev_ballot=prev, zone_id="z1",
+                 request_digest=b"d", cert=cert, checkpoint=ckpt,
+                 sender="n4"),
+        GlobalCommit(view=0, ballot=ballot, prev_ballot=prev,
+                     requests=(req,), cert=cert, checkpoints=(ckpt,),
+                     sender="n0"),
+    ]
+    from repro.messages.registry import WIRE_MESSAGES
+    assert {type(m).__name__ for m in samples} == set(WIRE_MESSAGES)
+    for message in samples:
+        decoded = decode_message(encode_message(message))
+        assert decoded == message, type(message).__name__
+        assert _digest(decoded) == _digest(message)
+
+
+def test_codec_rejects_unregistered_types():
+    from repro.errors import ProtocolError
+    from repro.messages.base import decode_message, encode_message
+
+    with pytest.raises(ProtocolError):
+        decode_message('{"__msg__": "EvilType", "fields": {}}')
+    with pytest.raises(ProtocolError):
+        encode_message(object())
+    with pytest.raises(ProtocolError):
+        encode_message({1: "non-str dict key"})
+
+
+def test_registry_is_total_over_message_subclasses():
+    """Bidirectional: registry == the set of Message subclasses."""
+    import repro.messages as messages_pkg
+    from repro.messages.base import Message
+    from repro.messages.registry import (CLIENT_DELIVERED, NESTED_TYPES,
+                                         WIRE_MESSAGES, codec_types)
+
+    exported = {name: getattr(messages_pkg, name)
+                for name in messages_pkg.__all__
+                if isinstance(getattr(messages_pkg, name), type)}
+    subclasses = {name for name, cls in exported.items()
+                  if issubclass(cls, Message) and cls is not Message}
+    assert subclasses == set(WIRE_MESSAGES)
+    for name, cls in WIRE_MESSAGES.items():
+        assert cls.__name__ == name
+        assert issubclass(cls, Message)
+    assert CLIENT_DELIVERED <= set(WIRE_MESSAGES)
+    # Nested value types are decodable but never wire messages.
+    assert not any(issubclass(cls, Message)
+                   for cls in NESTED_TYPES.values())
+    assert set(codec_types()) == set(WIRE_MESSAGES) | set(NESTED_TYPES)
