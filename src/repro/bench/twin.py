@@ -1,0 +1,63 @@
+"""Twin-run comparison helpers.
+
+The chaos engine (:mod:`repro.chaos`) quantifies a fault's performance
+cost by running every scenario twice on the same seed and workload: once
+with the fault schedule applied and once fault-free (the *twin*). The
+helpers here reduce the two metric sets to a small, deterministic
+comparison — throughput retention and latency inflation — that joins the
+resilience report. They are protocol-agnostic: any pair of
+:class:`~repro.bench.metrics.Metrics` can be compared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.metrics import Metrics
+
+__all__ = ["TwinComparison", "compare_to_twin"]
+
+
+@dataclass(frozen=True)
+class TwinComparison:
+    """Faulty run vs. fault-free twin, on identical seed and workload."""
+
+    completed: int
+    twin_completed: int
+    #: Faulty throughput as a fraction of the twin's (1.0 = no cost;
+    #: 0.0 when the twin also completed nothing).
+    throughput_ratio: float
+    #: Faulty p50 latency divided by the twin's p50 (>= 1.0 under
+    #: degradation; 0.0 when either side has no completions).
+    latency_p50_ratio: float
+
+    @property
+    def degradation_pct(self) -> float:
+        """Throughput lost to the fault schedule, in percent."""
+        return round(100.0 * (1.0 - self.throughput_ratio), 2)
+
+    def as_dict(self) -> dict:
+        """Flat rounded dict for the machine-readable report."""
+        return {
+            "completed": self.completed,
+            "twin_completed": self.twin_completed,
+            "throughput_ratio": round(self.throughput_ratio, 4),
+            "latency_p50_ratio": round(self.latency_p50_ratio, 4),
+            "degradation_pct": self.degradation_pct,
+        }
+
+
+def compare_to_twin(metrics: Metrics, twin: Metrics) -> TwinComparison:
+    """Reduce a (faulty, twin) metric pair to its comparison."""
+    if twin.throughput_tps > 0:
+        throughput_ratio = metrics.throughput_tps / twin.throughput_tps
+    else:
+        throughput_ratio = 0.0
+    if twin.latency_p50_ms > 0 and metrics.latency_p50_ms > 0:
+        latency_ratio = metrics.latency_p50_ms / twin.latency_p50_ms
+    else:
+        latency_ratio = 0.0
+    return TwinComparison(completed=metrics.completed,
+                          twin_completed=twin.completed,
+                          throughput_ratio=throughput_ratio,
+                          latency_p50_ratio=latency_ratio)

@@ -1,0 +1,20 @@
+"""Deterministic adversarial-campaign engine with resilience scoring.
+
+Declarative chaos scenarios (:mod:`repro.chaos.scenario`), built-in
+campaigns (:mod:`repro.chaos.campaign`), a seeded runner that injects
+the faults into a live deployment and judges the outcome with the
+protocol conformance monitor (:mod:`repro.chaos.runner`), and report
+emitters (:mod:`repro.chaos.report`). CLI: ``repro chaos``.
+"""
+
+from repro.chaos.campaign import CAMPAIGNS, campaign, campaign_names
+from repro.chaos.report import format_report, report_json, resilience_report
+from repro.chaos.runner import (CampaignResult, ScenarioResult,
+                                run_campaign, run_scenario)
+from repro.chaos.scenario import FaultAction, Scenario
+
+__all__ = [
+    "FaultAction", "Scenario", "CAMPAIGNS", "campaign", "campaign_names",
+    "ScenarioResult", "CampaignResult", "run_scenario", "run_campaign",
+    "resilience_report", "report_json", "format_report",
+]

@@ -1,0 +1,193 @@
+"""Built-in chaos campaigns.
+
+The ``default`` campaign is the resilience regression suite: thirteen
+scenarios on the standard 3-zone / ``f=1`` deployment, spanning every
+fault family the paper's adversary model covers —
+
+- Byzantine behaviour within the zone budget (silent and
+  corrupt-signature backups, which a ``3f+1`` zone must absorb),
+- Byzantine behaviour *over* budget (an equivocating primary with a
+  silent accomplice, silent/corrupt majorities), which the conformance
+  monitor must flag,
+- crash/recovery churn, including a primary crash that forces a view
+  change and an over-budget double crash,
+- WAN and zone-internal partitions with timed heals, and
+- primary-targeted isolation.
+
+The ``smoke`` campaign is the five-scenario subset CI runs on every
+push. All fire times follow one clock: faults land around 700–1000 ms
+(after the workload has ramped), heals around 1800–2400 ms, and every
+run lasts 4000 ms — long enough for any healed zone to re-converge and
+for the liveness watchdog to flag one that does not.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.scenario import FaultAction, Scenario
+from repro.errors import ConfigurationError
+
+__all__ = ["CAMPAIGNS", "campaign", "campaign_names"]
+
+
+def _behavior(at_ms: float, node: str, behavior: str) -> FaultAction:
+    return FaultAction(at_ms=at_ms, kind="set-behavior", node=node,
+                      behavior=behavior)
+
+
+def _crash(at_ms: float, node: str) -> FaultAction:
+    return FaultAction(at_ms=at_ms, kind="crash", node=node)
+
+
+def _recover(at_ms: float, node: str) -> FaultAction:
+    return FaultAction(at_ms=at_ms, kind="recover", node=node)
+
+
+def _zone_partition(at_ms: float, *groups: tuple) -> FaultAction:
+    return FaultAction(at_ms=at_ms, kind="partition-zones",
+                      groups=tuple(tuple(g) for g in groups))
+
+
+def _heal(at_ms: float) -> FaultAction:
+    return FaultAction(at_ms=at_ms, kind="heal-partition")
+
+
+_DEFAULT: tuple[Scenario, ...] = (
+    # ------------------------------------------------------------------
+    # Byzantine behaviour within the zone budget: must be absorbed.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="byz-silent-backup",
+        description="one z0 backup goes silent, later rejoins honestly",
+        budget="<=f", expect="safe",
+        actions=(_behavior(800, "z0n1", "silent"),
+                 _behavior(2200, "z0n1", "honest"))),
+    Scenario(
+        name="byz-corrupt-backup",
+        description="one z1 backup emits corrupt signatures, then heals",
+        budget="<=f", expect="safe",
+        actions=(_behavior(800, "z1n2", "corrupt-signature"),
+                 _behavior(2200, "z1n2", "honest"))),
+    # ------------------------------------------------------------------
+    # Crash/recovery churn.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="crash-backup-churn",
+        description="staggered backup crashes in z0 and z1, both recover",
+        budget="<=f", expect="safe",
+        actions=(_crash(800, "z0n1"), _crash(1000, "z1n1"),
+                 _recover(2000, "z0n1"), _recover(2200, "z1n1"))),
+    Scenario(
+        name="primary-crash-failover",
+        description="z0 primary crashes (forces a view change), recovers",
+        budget="<=f", expect="safe",
+        actions=(_crash(800, "primary:z0"),
+                 _recover(2400, "primary:z0"))),
+    # ------------------------------------------------------------------
+    # Primary-targeted network attack.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="primary-isolated-heals",
+        description="z1 primary cut off the network, reconnected later",
+        budget="<=f", expect="safe",
+        actions=(FaultAction(at_ms=800, kind="disconnect",
+                             node="primary:z1"),
+                 FaultAction(at_ms=2200, kind="reconnect",
+                             node="primary:z1"))),
+    # ------------------------------------------------------------------
+    # WAN partitions and link faults with timed heals.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="zone-partition-heal",
+        description="z0 cut from the WAN (local progress continues), "
+                    "partition heals",
+        budget="<=f", expect="safe",
+        actions=(_zone_partition(800, ("z0",), ("z1", "z2")),
+                 _heal(2000))),
+    Scenario(
+        name="zone-internal-split",
+        description="z2 split down the middle (no intra-zone quorum on "
+                    "either side) until the partition heals",
+        budget="<=f", expect="safe",
+        actions=(FaultAction(at_ms=800, kind="partition-nodes",
+                             groups=(("z2n0", "z2n1"), ("*",))),
+                 _heal(2000))),
+    Scenario(
+        name="wan-link-flap",
+        description="the z0–z1 primary link blackholes, then heals",
+        budget="<=f", expect="safe",
+        actions=(FaultAction(at_ms=800, kind="link-drop", node="z0n0",
+                             peer="z1n0", probability=1.0),
+                 FaultAction(at_ms=2000, kind="link-drop", node="z0n0",
+                             peer="z1n0", probability=0.0))),
+    # ------------------------------------------------------------------
+    # Combined storm, still within every zone's budget.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="storm-within-budget",
+        description="crash + silent node + WAN partition at once, all "
+                    "healed; one fault per zone throughout",
+        budget="<=f", expect="safe",
+        actions=(_crash(700, "z0n1"),
+                 _behavior(800, "z2n1", "silent"),
+                 _zone_partition(900, ("z1",), ("z0", "z2")),
+                 _heal(1800),
+                 _recover(2100, "z0n1"),
+                 _behavior(2200, "z2n1", "honest"))),
+    # ------------------------------------------------------------------
+    # Over-budget adversaries: the monitor must flag these.
+    # ------------------------------------------------------------------
+    Scenario(
+        name="byz-equivocate-over-budget",
+        description="z0 primary equivocates with a silent accomplice "
+                    "(two faulty nodes in one zone)",
+        budget=">f", expect="violation",
+        actions=(_behavior(800, "primary:z0", "equivocate"),
+                 _behavior(800, "z0n2", "silent"))),
+    Scenario(
+        name="byz-silent-majority",
+        description="two z1 backups go silent: the zone loses its "
+                    "2f+1 quorum and stalls",
+        budget=">f", expect="violation",
+        actions=(_behavior(800, "z1n1", "silent"),
+                 _behavior(800, "z1n2", "silent"))),
+    Scenario(
+        name="byz-corrupt-majority",
+        description="two z2 backups emit corrupt signatures: no valid "
+                    "quorum can form",
+        budget=">f", expect="violation",
+        actions=(_behavior(800, "z2n1", "corrupt-signature"),
+                 _behavior(800, "z2n2", "corrupt-signature"))),
+    Scenario(
+        name="crash-over-budget",
+        description="two z0 nodes crash and never recover: the zone is "
+                    "dead and the watchdog must say so",
+        budget=">f", expect="violation",
+        actions=(_crash(800, "z0n1"), _crash(1000, "z0n2"))),
+)
+
+_SMOKE_NAMES = ("byz-silent-backup", "primary-crash-failover",
+                "zone-partition-heal", "byz-silent-majority",
+                "crash-over-budget")
+
+_BY_NAME = {s.name: s for s in _DEFAULT}
+
+#: Campaign registry: name -> ordered scenario tuple.
+CAMPAIGNS: dict[str, tuple[Scenario, ...]] = {
+    "default": _DEFAULT,
+    "smoke": tuple(_BY_NAME[name] for name in _SMOKE_NAMES),
+}
+
+
+def campaign_names() -> list[str]:
+    """Registered campaign names."""
+    return sorted(CAMPAIGNS)
+
+
+def campaign(name: str) -> tuple[Scenario, ...]:
+    """Look up a campaign, with a helpful error on unknown names."""
+    try:
+        return CAMPAIGNS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown campaign {name!r}; valid names: "
+            f"{', '.join(campaign_names())}") from None

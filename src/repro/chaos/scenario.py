@@ -1,0 +1,241 @@
+"""Declarative chaos-scenario DSL.
+
+A :class:`Scenario` is a named, fully static description of one
+adversarial episode against a Ziziphus deployment: a schedule of
+:class:`FaultAction` steps (Byzantine behaviour swaps, crash/recovery
+churn, partitions with timed heals, link faults, primary-targeted
+attacks), the adversary *budget* it stays within (``<=f`` per zone, or
+deliberately ``>f``), and the *expected outcome* the campaign runner
+gates on:
+
+- ``expect="safe"`` — the conformance monitor must stay clean and the
+  deployment must keep (or recover) liveness: the paper's containment
+  claim for adversaries within the zone fault budget;
+- ``expect="violation"`` — the monitor must flag the run (safety
+  violation or liveness stall): an over-budget adversary must at least
+  be *detected*, never silently absorbed.
+
+Scenarios are data, not code: everything that needs runtime state (the
+current primary of a zone, the clients homed in a partitioned zone) is
+expressed symbolically (``primary:z0``, the ``"*"`` partition group) and
+resolved by the runner at the action's fire time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.pbft.faults import BEHAVIOR_NAMES
+
+__all__ = ["FaultAction", "Scenario", "ACTION_KINDS", "PRIMARY_PREFIX",
+           "REST_GROUP"]
+
+#: Every action kind the runner knows how to apply.
+ACTION_KINDS = ("set-behavior", "crash", "recover", "disconnect",
+                "reconnect", "partition-zones", "partition-nodes",
+                "heal-partition", "link-drop", "clear-faults")
+
+#: Node targets of the form ``primary:<zone>`` resolve to the zone's
+#: current primary at the action's fire time.
+PRIMARY_PREFIX = "primary:"
+
+#: Partition-group token meaning "every registered id not named in any
+#: other group" (nodes and clients), resolved at fire time.
+REST_GROUP = "*"
+
+#: Action kinds that corrupt or remove a *node* (they consume adversary
+#: budget); network-level faults (partitions, link drops) do not.
+_NODE_FAULT_KINDS = frozenset({"set-behavior", "crash", "disconnect"})
+
+#: Action kinds that heal rather than hurt.
+_HEAL_KINDS = frozenset({"recover", "reconnect", "heal-partition",
+                         "clear-faults"})
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled step of a scenario.
+
+    ``at_ms`` is absolute simulated time. Which other fields matter
+    depends on ``kind``:
+
+    ========================  =========================================
+    kind                      fields used
+    ========================  =========================================
+    ``set-behavior``          ``node``, ``behavior``
+    ``crash`` / ``recover``   ``node``
+    ``disconnect`` /
+    ``reconnect``             ``node``
+    ``partition-zones``       ``groups`` (tuples of zone ids)
+    ``partition-nodes``       ``groups`` (tuples of node ids; one group
+                              may be ``("*",)`` for "everyone else")
+    ``heal-partition``        —
+    ``link-drop``             ``node``, ``peer``, ``probability``
+                              (symmetric; 0.0 heals the link)
+    ``clear-faults``          —
+    ========================  =========================================
+    """
+
+    at_ms: float
+    kind: str
+    node: str = ""
+    peer: str = ""
+    behavior: str = ""
+    probability: float = 1.0
+    groups: tuple[tuple[str, ...], ...] = ()
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigurationError` on a malformed action."""
+        if self.kind not in ACTION_KINDS:
+            raise ConfigurationError(
+                f"unknown action kind {self.kind!r}; valid kinds: "
+                f"{', '.join(ACTION_KINDS)}")
+        if self.at_ms < 0:
+            raise ConfigurationError("action time must be >= 0")
+        if self.kind == "set-behavior" and self.behavior not in BEHAVIOR_NAMES:
+            raise ConfigurationError(
+                f"unknown behaviour {self.behavior!r} in set-behavior")
+        if self.kind in ("set-behavior", "crash", "recover", "disconnect",
+                         "reconnect", "link-drop") and not self.node:
+            raise ConfigurationError(f"{self.kind} needs a node target")
+        if self.kind == "link-drop" and not self.peer:
+            raise ConfigurationError("link-drop needs a peer")
+        if self.kind in ("partition-zones", "partition-nodes") \
+                and len(self.groups) < 2:
+            raise ConfigurationError(f"{self.kind} needs >= 2 groups")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError("probability must be in [0, 1]")
+
+    @property
+    def heals(self) -> bool:
+        """Whether this step restores rather than injects."""
+        if self.kind in _HEAL_KINDS:
+            return True
+        if self.kind == "set-behavior":
+            return self.behavior == "honest"
+        if self.kind == "link-drop":
+            return self.probability == 0.0
+        return False
+
+    def faulty_node(self) -> str | None:
+        """The node this step corrupts/removes, if it is a node fault."""
+        if self.kind in _NODE_FAULT_KINDS and not self.heals:
+            return self.node
+        return None
+
+    def as_dict(self) -> dict:
+        """Stable dict form for the machine-readable report."""
+        out: dict = {"at_ms": self.at_ms, "kind": self.kind}
+        if self.node:
+            out["node"] = self.node
+        if self.peer:
+            out["peer"] = self.peer
+        if self.behavior:
+            out["behavior"] = self.behavior
+        if self.kind == "link-drop":
+            out["probability"] = self.probability
+        if self.groups:
+            out["groups"] = [list(g) for g in self.groups]
+        return out
+
+
+def _target_zone(target: str) -> str:
+    """Zone id of a node target (``z0n2`` -> ``z0``; ``primary:z0`` ->
+    ``z0``). Node ids follow the deployment's ``<zone>n<j>`` scheme."""
+    if target.startswith(PRIMARY_PREFIX):
+        return target[len(PRIMARY_PREFIX):]
+    zone, _, _ = target.rpartition("n")
+    return zone
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named adversarial episode with a declared budget and outcome."""
+
+    name: str
+    description: str
+    #: Adversary budget class: ``"<=f"`` (within the per-zone fault
+    #: bound) or ``">f"`` (deliberately over budget).
+    budget: str
+    #: Expected outcome the campaign gates on: ``"safe"`` or
+    #: ``"violation"``.
+    expect: str
+    actions: tuple[FaultAction, ...]
+    #: Total simulated run length.
+    duration_ms: float = 4_000.0
+    #: SAFE scenarios with heals must show a completion whose request
+    #: *started* after the last heal within this bound.
+    max_recovery_ms: float = 2_500.0
+    #: Workload shape (closed loop, per the bench driver).
+    clients_per_zone: int = 2
+    global_fraction: float = 0.1
+
+    def validate(self, f: int) -> None:
+        """Check internal consistency against the deployment's ``f``.
+
+        The declared budget must match the statically countable node
+        faults, and the expectation must match the budget — that pairing
+        *is* the containment claim the campaign regression-gates.
+        """
+        if self.budget not in ("<=f", ">f"):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: budget must be '<=f' or '>f'")
+        if self.expect not in ("safe", "violation"):
+            raise ConfigurationError(
+                f"scenario {self.name!r}: expect must be 'safe' or "
+                "'violation'")
+        expected = "safe" if self.budget == "<=f" else "violation"
+        if self.expect != expected:
+            raise ConfigurationError(
+                f"scenario {self.name!r}: budget {self.budget!r} implies "
+                f"expect {expected!r} (containment claim), got "
+                f"{self.expect!r}")
+        for action in self.actions:
+            action.validate()
+            if action.at_ms >= self.duration_ms:
+                raise ConfigurationError(
+                    f"scenario {self.name!r}: action at {action.at_ms}ms "
+                    f"fires after the {self.duration_ms}ms run ends")
+        counts = self.faulty_nodes_by_zone()
+        over = sorted(z for z, nodes in counts.items() if len(nodes) > f)
+        if self.budget == "<=f" and over:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares budget '<=f' but "
+                f"corrupts > {f} node(s) in zone(s) {', '.join(over)}")
+        if self.budget == ">f" and not over:
+            raise ConfigurationError(
+                f"scenario {self.name!r} declares budget '>f' but no "
+                f"zone has more than {f} corrupted node(s)")
+
+    def faulty_nodes_by_zone(self) -> dict[str, set[str]]:
+        """Distinct node-fault targets per zone (budget accounting).
+
+        Counts every node ever targeted by a node fault, regardless of
+        later heals: the adversary model is about how many nodes the
+        adversary *controls*, not about simultaneity.
+        """
+        counts: dict[str, set[str]] = {}
+        for action in self.actions:
+            node = action.faulty_node()
+            if node is not None:
+                counts.setdefault(_target_zone(node), set()).add(node)
+        return counts
+
+    def heal_times(self) -> list[float]:
+        """Fire times of every healing step, ascending."""
+        return sorted(a.at_ms for a in self.actions if a.heals)
+
+    def as_dict(self) -> dict:
+        """Stable dict form for the machine-readable report."""
+        return {
+            "name": self.name,
+            "description": self.description,
+            "budget": self.budget,
+            "expect": self.expect,
+            "duration_ms": self.duration_ms,
+            "max_recovery_ms": self.max_recovery_ms,
+            "clients_per_zone": self.clients_per_zone,
+            "global_fraction": self.global_fraction,
+            "actions": [a.as_dict() for a in self.actions],
+        }

@@ -8,6 +8,7 @@ Run single experiment points or whole paper figures from a shell::
     python -m repro analyze-assignment --zones 10 --zone-size 4 --byzantine 8
     python -m repro trace --out trace.jsonl --chrome trace.json
     python -m repro lint --format json
+    python -m repro chaos --campaign smoke --format json --out report.json
 
 (Also installed as the ``repro`` console script.)
 """
@@ -94,6 +95,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "(default: src/repro)")
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="report format (default: text)")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run a deterministic adversarial campaign and print the "
+             "resilience report")
+    chaos.add_argument("--campaign", default="default", metavar="NAME",
+                       help="campaign name (default: default; "
+                            "see repro.chaos.campaign)")
+    chaos.add_argument("--seed", type=int, default=1)
+    chaos.add_argument("--zones", type=int, default=3)
+    chaos.add_argument("--f", type=int, default=1)
+    chaos.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default: text)")
+    chaos.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the JSON resilience report here")
 
     baseline = sub.add_parser(
         "bench-baseline",
@@ -210,6 +226,28 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.to_json() if args.format == "json"
               else result.to_text())
         return result.exit_code
+
+    if args.command == "chaos":
+        from pathlib import Path
+
+        from repro.chaos import format_report as chaos_format
+        from repro.chaos import report_json, run_campaign
+        from repro.chaos.campaign import campaign_names
+        if args.campaign not in campaign_names():
+            print(f"repro chaos: unknown campaign {args.campaign!r}; "
+                  f"valid names are: {', '.join(campaign_names())}",
+                  file=sys.stderr)
+            return 2
+        result = run_campaign(args.campaign, seed=args.seed,
+                              num_zones=args.zones, f=args.f)
+        print(report_json(result) if args.format == "json"
+              else chaos_format(result))
+        if args.out:
+            Path(args.out).write_text(report_json(result) + "\n")
+            print(f"\nresilience report: {args.out}", file=sys.stderr)
+        # Exit 4 on verdict divergence: a scenario's observed outcome
+        # contradicted its declared expectation (CI fails on this).
+        return 0 if result.passed else 4
 
     if args.command == "bench-baseline":
         from repro.bench.baseline import write_baseline

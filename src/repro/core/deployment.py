@@ -147,6 +147,18 @@ class ZiziphusDeployment:
         view = max(self.nodes[m].replica.view for m in members)
         return self.nodes[self.directory.zone(zone_id).primary(view)]
 
+    def zone_of_node(self, node_id: str) -> str:
+        """The zone id hosting ``node_id``."""
+        return self.directory.zone_of(node_id)
+
+    def set_behavior(self, node_id: str, behavior) -> None:
+        """Swap a node's Byzantine behaviour at runtime (chaos engine).
+
+        ``behavior`` is a :class:`~repro.pbft.faults.Behavior` instance
+        or a registered name; see :meth:`HostNode.set_behavior`.
+        """
+        self.nodes[node_id].set_behavior(behavior)
+
     def stable_leader_zone(self, cluster_id: str) -> str:
         """The designated stable-leader zone of a cluster (its first zone)."""
         return self.directory.cluster_zones(cluster_id)[0]

@@ -145,6 +145,30 @@ class EndorsementManager:
         """Inspect an instance's state (used by view-change re-drives)."""
         return self._instances.get(instance)
 
+    def _reset_for_digest(self, state: EndorsementInstance,
+                          endorse_digest: bytes) -> None:
+        """Drop vote state when an instance switches digests.
+
+        A re-drive after a view change may propose the same instance
+        with a different batch, and votes can arrive before the
+        pre-prepare that names the digest they belong to. Shares and
+        prepares collected for the old digest can never aggregate with
+        the new one — combining them would produce (or crash on) an
+        invalid certificate — so the instance restarts its count.
+        """
+        if state.endorse_digest is not None \
+                and state.endorse_digest != endorse_digest:
+            state.shares.clear()
+            state.prepare_senders.clear()
+            state.voted = False
+            state.done = False
+            # Any pending leader callback belongs to the superseded digest:
+            # firing it with the new proposal's certificate would pair the
+            # old payload with a certificate that doesn't cover it (e.g. a
+            # StateTransfer shipping stale records under a valid cert).
+            state.leading = False
+            state.on_cert = None
+
     # ------------------------------------------------------------------
     # Leader side
     # ------------------------------------------------------------------
@@ -153,6 +177,7 @@ class EndorsementManager:
         """Start an endorsement instance as this zone's primary."""
         view = self.view_provider()
         state = self._get(instance)
+        self._reset_for_digest(state, endorse_digest)
         state.view = view
         state.payload = payload
         state.endorse_digest = endorse_digest
@@ -207,7 +232,16 @@ class EndorsementManager:
                      members=self._members_key)
         state = self._get(msg.instance)
         if state.payload is not None and state.endorse_digest != msg.endorse_digest:
-            return  # conflicting pre-prepare; refuse to endorse both
+            # Same view (or older): equivocation, refuse to endorse both.
+            # A *strictly newer* view may legitimately re-propose the
+            # instance with a different body — the old primary crashed
+            # before its assignment reached anyone else, and the new
+            # primary rebuilt the batch from its own pending pool. If no
+            # certificate exists locally the old digest was never chosen,
+            # so adopt the re-proposal (PBFT new-view rule); the vote
+            # state banked for the dead digest resets below.
+            if state.done or msg.view <= state.view:
+                return
         kind = self._kind_of(msg.instance)
         if kind is not None and kind.validator is not None:
             verdict = kind.validator(msg.instance, msg.payload,
@@ -225,6 +259,10 @@ class EndorsementManager:
             if not verdict:
                 return
             self._retries.pop(msg.instance, None)
+        # Digest known only from early votes (payload still None): the
+        # validated pre-prepare wins, and any shares banked against a
+        # different digest restart from zero.
+        self._reset_for_digest(state, msg.endorse_digest)
         state.view = msg.view
         state.payload = msg.payload
         state.endorse_digest = msg.endorse_digest

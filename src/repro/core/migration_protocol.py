@@ -73,6 +73,13 @@ class MigrationEngine:
 
         self._state_envs: dict[MigKey, Signed] = {}
         self._source_zone_of: dict[MigKey, str] = {}
+        #: R(c) as of the migration commit's execution point, captured on
+        #: every source-zone node. Re-drives (view changes, destination
+        #: re-queries) must ship THIS snapshot: the live store moves on —
+        #: the client may even migrate back and transact here again — and
+        #: a later export would certify a different state for the same
+        #: migration.
+        self._captured_records: dict[MigKey, dict[str, Any]] = {}
         #: Cross-cluster: the source cluster ships STATE under *its* ballot;
         #: destination nodes map it back to their own cluster's ballot.
         self._aliases: dict[Ballot, Ballot] = {}
@@ -115,6 +122,9 @@ class MigrationEngine:
         self._source_zone_of[key] = request.source_zone
         zone_id = self.my_zone.zone_id
         if zone_id == request.source_zone:
+            if key not in self._captured_records:
+                self._captured_records[key] = \
+                    self.node.app.export_client(request.sender)
             if self.node.replica.is_primary:
                 self.start_record_generation(ballot, request)
             else:
@@ -157,7 +167,14 @@ class MigrationEngine:
                           self._span_key(ballot, request.sender),
                           node=self.node.node_id,
                           source=request.source_zone, dest=request.dest_zone)
-        records = self.node.app.export_client(request.sender)
+        key = self._key(ballot, request.sender)
+        records = self._captured_records.get(key)
+        if records is None:
+            # No capture means this node learned of the migration through a
+            # re-query rather than by executing the commit; the live store
+            # is the only source available.
+            records = self.node.app.export_client(request.sender)
+            self._captured_records[key] = records
         records_digest = digest(records)
         context = StateContext(ballot=ballot, client_id=request.sender,
                                records=records, records_digest=records_digest)
@@ -209,7 +226,17 @@ class MigrationEngine:
         result = self.node.sync.result_for(context.ballot, context.client_id)
         if result is None:
             return "retry"  # the global commit may still be executing here
-        return result[0] == "migrated"
+        if result[0] != "migrated":
+            return False
+        # The first endorsed export becomes the zone-canonical R(c):
+        # replicas capture at slightly different local interleaving
+        # points, so a validator adopts the primary's endorsed records —
+        # then a later primary re-driving this migration (view change,
+        # destination re-query) ships the identical record instead of a
+        # near-miss of its own that the monitor would flag as divergent.
+        self._captured_records[self._key(context.ballot,
+                                         context.client_id)] = context.records
+        return True
 
     # ------------------------------------------------------------------
     # Record appending (destination zone)
@@ -375,5 +402,11 @@ class MigrationEngine:
             request = env.payload
             if digest(request.sender) == query.request_digest and \
                     self.my_zone.zone_id == request.source_zone:
+                if self.node.sync.result_for(self._canonical(query.ballot),
+                                             request.sender) is None:
+                    # Not executed here yet: exporting now would certify a
+                    # pre-commit-point R(c). The destination's timer will
+                    # re-query once we catch up.
+                    return
                 self.start_record_generation(query.ballot, request)
                 return

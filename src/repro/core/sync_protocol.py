@@ -567,6 +567,11 @@ class SyncEngine:
                                 requests=txn.batch, promises=promises)
         body = accept_body(txn.ballot, prev, txn.request_digest)
         assigning = self.config.stable_leader  # ballot first certified here
+        # Armed before lead(): the endorsement can wedge (a crashed
+        # primary's conflicting assignment holds members' votes hostage
+        # until a newer view overrides it), and only a retry re-multicasts
+        # the pre-prepare. A synchronous cert re-arms for accepted-wait.
+        self._arm_phase_timer(txn, "accept")
         self.node.endorsement.lead(
             self._instance("accept", txn.ballot), context, body,
             use_prepare=self._use_prepare(assigning_ballot=assigning),
@@ -651,6 +656,10 @@ class SyncEngine:
             return  # Lemma 5.5: never endorse two ballots at one sequence
         txn = self._txn(accept.ballot)
         if txn.phase in ("accepted", "committed") or txn.committed:
+            # Duplicate ACCEPT: the initiator zone is probing because our
+            # ACCEPTED never arrived (lost to a partition, or the initiator
+            # primary that collected it crashed). Re-send the certificate.
+            self._relead_accepted(accept.ballot)
             return
         self.highest_seen = max(self.highest_seen, accept.ballot.seq)
         txn.prev_ballot = accept.prev_ballot
@@ -1032,6 +1041,14 @@ class SyncEngine:
             return
         if not self._is_zone_primary():
             return
+        if phase == "accept":
+            # The ACCEPT-body endorsement never certified (pre-prepare or
+            # prepares lost, or members held a crashed primary's rival
+            # assignment until our newer view overrode it). This ballot
+            # may already be referenced as prev by committed successors,
+            # so it cannot be abandoned — keep re-driving it.
+            self._redrive_initiator(txn)
+            return
         if phase == "accepted-wait":
             self._query_all_followers(txn, "accepted")
         if self.config.stable_leader and phase == "accepted-wait" and \
@@ -1073,11 +1090,33 @@ class SyncEngine:
         txn = self.txns.get(query.ballot)
         if query.phase == "commit":
             if txn is not None and txn.commit_env is not None:
-                self.host.forward(sender, txn.commit_env)
+                # The querier missed this commit — and, after a crash or
+                # partition, typically a contiguous stretch after it too.
+                # Ship the whole committed suffix we still hold so one
+                # round trip heals an arbitrarily long gap, instead of
+                # the querier walking the prev chain one hop at a time.
+                try:
+                    start = self._commit_order.index(query.ballot)
+                except ValueError:
+                    self.host.forward(sender, txn.commit_env)
+                    return
+                shipped = 0
+                for ballot in self._commit_order[start:]:
+                    held = self.txns.get(ballot)
+                    if held is None or held.commit_env is None:
+                        continue
+                    self.host.forward(sender, held.commit_env)
+                    shipped += 1
+                    if shipped >= 64:
+                        break
+                if shipped == 0:
+                    self.host.forward(sender, txn.commit_env)
                 return
         elif query.phase == "accepted":
             if txn is not None and txn.phase in ("accepted", "committed"):
-                return  # our primary already answered; nothing to add
+                # The querier lost our ACCEPTED: re-certify and re-send.
+                self._relead_accepted(query.ballot)
+                return
         elif query.phase == "state":
             self.node.migration.answer_state_query(sender, query)
             return
@@ -1113,6 +1152,31 @@ class SyncEngine:
     def _redrive_initiator(self, txn: GlobalTxnState) -> None:
         if txn.phase in ("superseded",):
             return
+        # A follower taking over mid-ballot has no phase history — the old
+        # primary's progress lives in hard evidence banked on every zone
+        # member: ACCEPTED certificates (multicast zone-wide) and the
+        # validated accept-endorsement instance. Reconstruct from those
+        # first; the local phase only describes this node's own attempts.
+        if txn.batch and len(txn.accepteds) + 1 >= self.majority:
+            self._start_commit_phase(txn)
+            return
+        accept_instance = self._instance("accept", txn.ballot)
+        state = self.node.endorsement.instance_state(accept_instance)
+        if state is not None and state.payload is not None:
+            # Re-certify the SAME accept body. Assigning a fresh
+            # prev_ballot here would fork the execution chain behind
+            # successors that already committed against the original one.
+            # Arm the retry timer first: the lead may complete
+            # synchronously from banked shares, and _send_accept then
+            # re-arms the timer for the accepted-wait phase.
+            txn.phase = "accept"
+            self._arm_phase_timer(txn, "accept")
+            self.node.endorsement.lead(
+                accept_instance, state.payload, state.endorse_digest,
+                use_prepare=self._use_prepare(
+                    assigning_ballot=self.config.stable_leader),
+                on_cert=lambda cert, b=txn.ballot: self._send_accept(b, cert))
+            return
         if txn.phase in ("start", "propose", "promise-wait") and \
                 not self.config.stable_leader:
             self._start_propose_phase(txn)
@@ -1129,17 +1193,32 @@ class SyncEngine:
         else:
             self._start_accept_phase(txn, promises=tuple(txn.promises.values()))
 
+    def _relead_accepted(self, ballot: Ballot) -> bool:
+        """Re-run (or instantly re-certify) this zone's ACCEPTED
+        endorsement and re-send the result to the initiator zone.
+
+        Only the zone primary acts; with the quorum shares already banked
+        the endorsement completes synchronously, so this doubles as the
+        retransmission path for ACCEPTED messages lost to partitions or
+        to a crashed initiator primary.
+        """
+        if not self._is_zone_primary():
+            return False
+        instance = self._instance("accepted", ballot)
+        state = self.node.endorsement.instance_state(instance)
+        if state is None or state.payload is None:
+            return False
+        self.node.endorsement.lead(
+            instance, state.payload, state.endorse_digest,
+            use_prepare=self._use_prepare(False),
+            on_cert=lambda cert, b=ballot: self._send_accepted(b, cert))
+        return True
+
     def _redrive_follower(self, txn: GlobalTxnState) -> None:
         # Re-run whichever follower endorsement the old primary dropped.
         if txn.phase in ("accepted", "committed"):
             return
-        accepted_instance = self._instance("accepted", txn.ballot)
-        state = self.node.endorsement.instance_state(accepted_instance)
-        if state is not None and state.payload is not None:
-            self.node.endorsement.lead(
-                accepted_instance, state.payload, state.endorse_digest,
-                use_prepare=self._use_prepare(False),
-                on_cert=lambda cert, b=txn.ballot: self._send_accepted(b, cert))
+        if self._relead_accepted(txn.ballot):
             return
         promise_instance = self._instance("promise", txn.ballot)
         state = self.node.endorsement.instance_state(promise_instance)

@@ -7,7 +7,8 @@ from repro.messages.client import ClientReply, ClientRequest, MigrationRequest
 from repro.messages.cluster import CrossCommit, CrossPropose, Prepared
 from repro.messages.endorse import EndorsePrepare, EndorsePrePrepare, EndorseVote
 from repro.messages.migration import StateTransfer, state_body
-from repro.messages.pbft import (CheckpointMsg, Commit, NewView, Prepare,
+from repro.messages.pbft import (CheckpointFetch, CheckpointMsg,
+                                 CheckpointSnapshot, Commit, NewView, Prepare,
                                  PreparedProof, PrePrepare, ViewChange)
 from repro.messages.query import ResponseQuery
 from repro.messages.sync import (GENESIS_BALLOT, Accept, Accepted, Ballot,
@@ -19,8 +20,10 @@ __all__ = [
     "Accept",
     "Accepted",
     "Ballot",
+    "CheckpointFetch",
     "CheckpointMsg",
     "CheckpointRef",
+    "CheckpointSnapshot",
     "ClientReply",
     "ClientRequest",
     "Commit",

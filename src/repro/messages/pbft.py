@@ -7,7 +7,8 @@ prepare/commit votes reference. A batch of one reproduces textbook PBFT.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Any
 
 from repro.messages.base import Message, Signed
 
@@ -16,6 +17,8 @@ __all__ = [
     "Prepare",
     "Commit",
     "CheckpointMsg",
+    "CheckpointFetch",
+    "CheckpointSnapshot",
     "PreparedProof",
     "ViewChange",
     "NewView",
@@ -60,6 +63,36 @@ class CheckpointMsg(Message):
     sequence: int
     state_digest: bytes
     sender: str
+
+
+@dataclass(frozen=True)
+class CheckpointFetch(Message):
+    """Request the full snapshot behind a stable checkpoint.
+
+    Sent by a replica that learns of a stable checkpoint above its own
+    last-executed sequence (it crashed, or was partitioned away, while the
+    zone progressed): its missing slots may be garbage-collected
+    zone-wide, so state transfer is the only way back.
+    """
+
+    sequence: int
+    sender: str
+
+
+@dataclass(frozen=True)
+class CheckpointSnapshot(Message):
+    """Reply to a fetch: the snapshot at a stable checkpoint.
+
+    ``snapshot`` is excluded from this object's digest; integrity comes
+    from ``state_digest``, which 2f+1 checkpoint votes vouch for and the
+    fetcher re-derives from the restored state before adopting.
+    """
+
+    sequence: int
+    state_digest: bytes
+    snapshot: dict[str, Any] = field(compare=False,
+                                     metadata={"digest": False})
+    sender: str = ""
 
 
 @dataclass(frozen=True)

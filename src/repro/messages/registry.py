@@ -26,8 +26,10 @@ from repro.messages.cluster import CrossCommit, CrossPropose, Prepared
 from repro.messages.endorse import (EndorsePrepare, EndorsePrePrepare,
                                     EndorseVote)
 from repro.messages.migration import StateTransfer
-from repro.messages.pbft import (CheckpointMsg, Commit, NewView, Prepare,
-                                 PreparedProof, PrePrepare, ViewChange)
+from repro.messages.pbft import (CheckpointFetch, CheckpointMsg,
+                                 CheckpointSnapshot, Commit, NewView,
+                                 Prepare, PreparedProof, PrePrepare,
+                                 ViewChange)
 from repro.messages.query import ResponseQuery
 from repro.messages.sync import (Accept, Accepted, Ballot, CheckpointRef,
                                  GlobalCommit, Promise, Propose)
@@ -51,6 +53,8 @@ WIRE_MESSAGES: dict[str, type] = {
     "Prepare": Prepare,
     "Commit": Commit,
     "CheckpointMsg": CheckpointMsg,
+    "CheckpointFetch": CheckpointFetch,
+    "CheckpointSnapshot": CheckpointSnapshot,
     "ViewChange": ViewChange,
     "NewView": NewView,
     "ResponseQuery": ResponseQuery,

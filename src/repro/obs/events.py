@@ -80,6 +80,7 @@ EVENT_KINDS: dict[str, str] = {
     "pbft.preprepare": "pre-prepare observed (claimed digest, pre-check)",
     "pbft.commit": "batch committed-local with its commit signer set",
     "pbft.execute": "committed batch applied to the state machine",
+    "pbft.catchup": "lagging replica adopted a stable-checkpoint snapshot",
     # Endorsement rounds and certificates.
     "endorse.preprepare": "endorsement pre-prepare observed",
     "cert.check": "certificate validity verdict at a receiver",
@@ -97,6 +98,13 @@ EVENT_KINDS: dict[str, str] = {
     "cross.propose_sent": "CROSS-PROPOSE sent by destination proxies",
     "cross.commit_sent": "CROSS-COMMIT sent to the source cluster",
     "cross.prepared_sent": "PREPARED sent by source proxies",
+    # Adversarial-campaign engine (repro.chaos).
+    "chaos.scenario": "chaos scenario started (name, budget, expectation)",
+    "chaos.action": "chaos fault or heal action applied to the deployment",
+    "chaos.recovered": "first post-heal progress observed by the runner",
+    # Liveness probes (consumed by the monitor's watchdog).
+    "liveness.probe": "progress probe armed; progress due before timeout",
+    "liveness.clear": "progress probe satisfied by subsequent progress",
     # Conformance monitor output.
     "monitor.violation": "online monitor flagged an invariant violation",
 }

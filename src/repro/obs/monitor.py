@@ -194,6 +194,7 @@ class ProtocolMonitor:
             "pbft.preprepare": self._on_pbft_preprepare,
             "pbft.commit": self._on_pbft_commit,
             "pbft.execute": self._on_pbft_execute,
+            "pbft.catchup": self._on_pbft_catchup,
             "endorse.preprepare": self._on_endorse_preprepare,
             "cert.check": self._on_cert_check,
             "sync.start": self._on_sync_start,
@@ -204,6 +205,8 @@ class ProtocolMonitor:
             "migration.executed": self._on_migration_executed,
             "migration.state_sent": self._on_state_sent,
             "migration.applied": self._on_applied,
+            "liveness.probe": self._on_probe_arm,
+            "liveness.clear": self._on_probe_clear,
         }
 
     @classmethod
@@ -338,8 +341,33 @@ class ProtocolMonitor:
     def _on_pbft_execute(self, ts: float, node: str, f: dict) -> None:
         self.checked["pbft.execute"] += 1
         group = f.get("group")
-        if group is not None:
-            self._open.pop(("pbft", group, f["sequence"], node), None)
+        if group is None:
+            return
+        sequence = f["sequence"]
+        # PBFT execution is in-order: executing ``sequence`` means every
+        # earlier committed slot on this node was applied (or skipped via
+        # a stable checkpoint after recovery), so clear lower-sequence
+        # watchdog items too — a recovered node must not read as stalled
+        # on slots the checkpoint transfer superseded.
+        stale = [key for key in self._open
+                 if key[0] == "pbft" and key[1] == group
+                 and key[3] == node and key[2] <= sequence]
+        for key in stale:
+            del self._open[key]
+
+    def _on_pbft_catchup(self, ts: float, node: str, f: dict) -> None:
+        """Checkpoint state transfer: the node adopted a stable snapshot,
+        superseding every committed-but-unexecuted slot at or below it."""
+        self.checked["pbft.catchup"] += 1
+        group = f.get("group")
+        if group is None:
+            return
+        sequence = f["sequence"]
+        stale = [key for key in self._open
+                 if key[0] == "pbft" and key[1] == group
+                 and key[3] == node and key[2] <= sequence]
+        for key in stale:
+            del self._open[key]
 
     def _on_endorse_preprepare(self, ts: float, node: str,
                                f: dict) -> None:
@@ -540,8 +568,46 @@ class ProtocolMonitor:
         self._open.pop(("migration", f["ballot"], f["client"]), None)
 
     # ------------------------------------------------------------------
+    # (5b) Liveness probes (chaos engine / external harnesses)
+    # ------------------------------------------------------------------
+    def _on_probe_arm(self, ts: float, node: str, f: dict) -> None:
+        """Arm a progress probe: something must clear it before the
+        stall timeout or the watchdog flags a liveness failure. The
+        chaos runner arms one per fault injection and clears it when a
+        request submitted after the fault completes."""
+        self.checked["liveness.probe"] += 1
+        self._open.setdefault(("probe", f["probe"]),
+                              {"start": ts,
+                               "phase": f.get("phase", "liveness"),
+                               "node": node})
+
+    def _on_probe_clear(self, ts: float, node: str, f: dict) -> None:
+        self.checked["liveness.clear"] += 1
+        self._open.pop(("probe", f["probe"]), None)
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
+    def stalls(self) -> list[Violation]:
+        """The liveness-watchdog subset of the violations."""
+        return [v for v in self.violations if v.kind == "stall"]
+
+    @property
+    def live(self) -> bool:
+        """Whether the watchdog flagged no stalls (safety aside)."""
+        return not self.stalls()
+
+    def assert_live(self) -> None:
+        """Raise AssertionError listing every stalled item (test tier)."""
+        stalls = self.stalls()
+        if stalls:
+            lines = [f"  {v.ts:.3f}ms stalled in {v.detail.get('phase')} "
+                     f"item={v.detail.get('item')} node={v.culprit}"
+                     for v in stalls[:20]]
+            raise AssertionError(
+                f"liveness watchdog flagged {len(stalls)} stall(s):\n"
+                + "\n".join(lines))
+
     def culpability(self) -> dict[str, dict[str, int]]:
         """Per-node violation counts by kind (the forensic table)."""
         table: dict[str, Counter] = {}

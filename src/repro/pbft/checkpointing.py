@@ -12,7 +12,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.messages.base import Signed
-from repro.messages.pbft import CheckpointMsg
+from repro.messages.pbft import (CheckpointFetch, CheckpointMsg,
+                                 CheckpointSnapshot)
 from repro.pbft.host import HostNode
 from repro.quorums import intra_zone_quorum
 from repro.storage.checkpoint import Checkpoint, CheckpointStore
@@ -25,7 +26,9 @@ class CheckpointManager:
 
     def __init__(self, host: HostNode, group: tuple[str, ...], f: int,
                  app: Any, period: int,
-                 on_stable: Callable[[int], None] | None = None) -> None:
+                 on_stable: Callable[[int], None] | None = None,
+                 on_snapshot: Callable[[Checkpoint], None] | None = None)\
+            -> None:
         self.host = host
         self.group = group
         self.others = tuple(n for n in group if n != host.node_id)
@@ -33,12 +36,15 @@ class CheckpointManager:
         self.app = app
         self.period = period
         self.on_stable = on_stable
+        self.on_snapshot = on_snapshot
         self.store = CheckpointStore(quorum=intra_zone_quorum(f))
         self._announced_stable = 0
 
     def register(self) -> None:
-        """Attach the CHECKPOINT handler to the host."""
+        """Attach the CHECKPOINT handlers to the host."""
         self.host.register_handler(CheckpointMsg, self._on_checkpoint)
+        self.host.register_handler(CheckpointFetch, self._on_fetch)
+        self.host.register_handler(CheckpointSnapshot, self._on_snapshot)
 
     @property
     def stable_sequence(self) -> int:
@@ -75,6 +81,55 @@ class CheckpointManager:
     def _on_checkpoint(self, sender: str, msg: CheckpointMsg,
                        envelope: Signed) -> None:
         self._record_vote(sender, msg.sequence, msg.state_digest)
+
+    # ------------------------------------------------------------------
+    # State transfer (lagging replicas)
+    # ------------------------------------------------------------------
+    def request_snapshot(self, sequence: int) -> None:
+        """Ask the zone for the snapshot behind the stable checkpoint at
+        ``sequence`` (fired when this replica falls behind it)."""
+        fetch = CheckpointFetch(sequence=sequence, sender=self.host.node_id)
+        self.host.multicast_signed(self.others, fetch)
+
+    def _on_fetch(self, sender: str, msg: CheckpointFetch,
+                  envelope: Signed) -> None:
+        if sender not in self.group:
+            return
+        # Serve the newest snapshot we hold that covers the request; the
+        # local store keeps exactly the snapshots at and above the latest
+        # stable checkpoint.
+        best: Checkpoint | None = None
+        stable = self.store.stable
+        if stable is not None and stable.snapshot is not None and \
+                stable.sequence >= msg.sequence:
+            best = stable
+        local = self.store.local(msg.sequence)
+        if best is None and local is not None and \
+                local.snapshot is not None:
+            best = local
+        if best is None:
+            return
+        reply = CheckpointSnapshot(sequence=best.sequence,
+                                   state_digest=best.state_digest,
+                                   snapshot=best.snapshot,
+                                   sender=self.host.node_id)
+        self.host.send_signed(sender, reply)
+
+    def _on_snapshot(self, sender: str, msg: CheckpointSnapshot,
+                     envelope: Signed) -> None:
+        if sender not in self.group:
+            return
+        # Only adopt snapshots matching a checkpoint that 2f+1 replicas
+        # vouched for — a lone (possibly Byzantine) responder cannot make
+        # up state. The fetcher re-derives the digest after restoring.
+        stable = self.store.stable
+        if stable is None or msg.sequence != stable.sequence or \
+                msg.state_digest != stable.state_digest:
+            return
+        if self.on_snapshot is not None:
+            self.on_snapshot(Checkpoint(sequence=msg.sequence,
+                                        state_digest=msg.state_digest,
+                                        snapshot=msg.snapshot))
 
     def _record_vote(self, voter: str, sequence: int,
                      state_digest: bytes) -> None:

@@ -23,6 +23,7 @@ __all__ = [
     "SilentBehavior",
     "CorruptSignatureBehavior",
     "EquivocatingBehavior",
+    "BEHAVIOR_NAMES",
     "make_behavior",
 ]
 
@@ -111,7 +112,16 @@ _REGISTRY = {
                 CorruptSignatureBehavior, EquivocatingBehavior)
 }
 
+#: Every instantiable behaviour name, in registration order.
+BEHAVIOR_NAMES: tuple[str, ...] = tuple(_REGISTRY)
+
 
 def make_behavior(name: str) -> Behavior:
     """Instantiate a behaviour by name (``"honest"``, ``"silent"``, ...)."""
-    return _REGISTRY[name]()
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        from repro.errors import ConfigurationError
+        raise ConfigurationError(
+            f"unknown behaviour {name!r}; valid names: "
+            f"{', '.join(BEHAVIOR_NAMES)}") from None

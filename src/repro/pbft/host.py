@@ -37,6 +37,25 @@ class HostNode(Process):
         self.invalid_messages = 0
 
     # ------------------------------------------------------------------
+    # Runtime behaviour swap (chaos / recovery)
+    # ------------------------------------------------------------------
+    def set_behavior(self, behavior: Behavior | str) -> Behavior:
+        """Swap this node's Byzantine behaviour at runtime.
+
+        Accepts a :class:`Behavior` instance or a registered name
+        (``"honest"``, ``"silent"``, ...). Takes effect on the next
+        outbound message — in-flight envelopes are untouched, matching
+        how link rules apply at send time. Returns the previous
+        behaviour so callers can restore it (fault heal / recovery).
+        """
+        if isinstance(behavior, str):
+            from repro.pbft.faults import make_behavior
+            behavior = make_behavior(behavior)
+        previous = self.behavior
+        self.behavior = behavior
+        return previous
+
+    # ------------------------------------------------------------------
     # Engine registration
     # ------------------------------------------------------------------
     def register_handler(self, payload_type: type,

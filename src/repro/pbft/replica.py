@@ -116,6 +116,7 @@ class PBFTReplica:
             host=host, group=self.group, f=f, app=app,
             period=self.config.checkpoint_period,
             on_stable=self._on_stable_checkpoint,
+            on_snapshot=self._adopt_checkpoint,
         )
         # Imported here to avoid a circular import at module load time.
         from repro.pbft.view_change import ViewChangeManager
@@ -499,6 +500,16 @@ class PBFTReplica:
     # Checkpoint / view-change plumbing
     # ------------------------------------------------------------------
     def _on_stable_checkpoint(self, sequence: int) -> None:
+        if sequence > self.last_executed:
+            self._try_execute()
+        if sequence > self.last_executed:
+            # The zone's stable state is ahead of what this replica has
+            # executed (it crashed or was partitioned away while the zone
+            # progressed). The missing slots may be garbage-collected
+            # zone-wide, so fetch the snapshot and fast-forward; keep our
+            # slots until it arrives.
+            self.checkpoints.request_snapshot(sequence)
+            return
         for seq in [s for s in self.slots if s <= sequence]:
             del self.slots[seq]
         for d in [d for d, s in self._digest_sequence.items() if s <= sequence]:
@@ -506,6 +517,31 @@ class PBFTReplica:
         if self.is_primary:
             self.next_sequence = max(self.next_sequence, sequence)
             self._maybe_propose()
+
+    def _adopt_checkpoint(self, checkpoint) -> None:
+        """Fast-forward to a fetched stable-checkpoint snapshot."""
+        if checkpoint.sequence <= self.last_executed:
+            return
+        before = self.app.snapshot()
+        self.app.restore(checkpoint.snapshot)
+        if self.app.state_digest() != checkpoint.state_digest:
+            self.app.restore(before)  # forged snapshot; wait for another
+            return
+        self.last_executed = checkpoint.sequence
+        # Hold the adopted snapshot locally so we can serve fetches too.
+        self.checkpoints.store.record_local(checkpoint)
+        for seq in [s for s in self.slots if s <= checkpoint.sequence]:
+            del self.slots[seq]
+        for d in [d for d, s in self._digest_sequence.items()
+                  if s <= checkpoint.sequence]:
+            del self._digest_sequence[d]
+        obs = self._obs()
+        if obs is not None:
+            obs.count("pbft.catchup")
+            obs.emit(self.host.sim.now, "pbft.catchup",
+                     node=self.host.node_id, group=self._group_key,
+                     sequence=checkpoint.sequence)
+        self._try_execute()
 
     def prepared_slots(self) -> list[Slot]:
         """Slots above the stable checkpoint that reached prepared."""

@@ -157,6 +157,14 @@ class Network:
         self.obs.emit(self.sim.now, "net.drop_rate", src=src, dst=dst,
                       probability=probability)
 
+    def set_link_drop(self, a: str, b: str, probability: float) -> None:
+        """Symmetric :meth:`set_drop_rate`: apply the rule in both
+        directions of the ``a``–``b`` link. ``0.0`` removes both rules
+        (heals the link), exactly like the directional form.
+        """
+        self.set_drop_rate(a, b, probability)
+        self.set_drop_rate(b, a, probability)
+
     def disconnect(self, node_id: str) -> None:
         """Drop all traffic to and from a node (models link failure)."""
         self._disconnected.add(node_id)
@@ -168,7 +176,14 @@ class Network:
         self.obs.emit(self.sim.now, "net.reconnect", node=node_id)
 
     def clear_faults(self) -> None:
-        """Heal everything: partition, drop rules, and disconnections."""
+        """Heal everything: partition, drop rules, and disconnections.
+
+        Nodes removed via :meth:`disconnect` are restored (no separate
+        :meth:`reconnect` needed). Process-level state is deliberately
+        untouched: a node crashed via ``Process.crash()`` stays crashed
+        until ``recover()`` — crashing is a node fault, not a network
+        fault.
+        """
         self._partition = None
         self._drop_rate.clear()
         self._disconnected.clear()

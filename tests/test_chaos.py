@@ -1,0 +1,218 @@
+"""Tests for the adversarial-campaign engine (repro.chaos)."""
+
+import json
+
+import pytest
+
+from repro.chaos import (CAMPAIGNS, CampaignResult, FaultAction, Scenario,
+                         campaign, campaign_names, report_json, run_scenario)
+from repro.errors import ConfigurationError
+
+
+def _scenario(actions, budget="<=f", expect="safe", **kwargs):
+    defaults = dict(name="t", description="test scenario",
+                    duration_ms=1_200.0, clients_per_zone=2)
+    defaults.update(kwargs)
+    return Scenario(budget=budget, expect=expect, actions=tuple(actions),
+                    **defaults)
+
+
+# ----------------------------------------------------------------------
+# Scenario DSL validation
+# ----------------------------------------------------------------------
+
+def test_action_rejects_unknown_kind():
+    with pytest.raises(ConfigurationError, match="unknown action kind"):
+        FaultAction(at_ms=0, kind="meteor-strike").validate()
+
+
+def test_action_rejects_missing_targets():
+    with pytest.raises(ConfigurationError, match="needs a node"):
+        FaultAction(at_ms=0, kind="crash").validate()
+    with pytest.raises(ConfigurationError, match="needs a peer"):
+        FaultAction(at_ms=0, kind="link-drop", node="z0n0").validate()
+    with pytest.raises(ConfigurationError, match=">= 2 groups"):
+        FaultAction(at_ms=0, kind="partition-zones",
+                    groups=(("z0",),)).validate()
+
+
+def test_action_rejects_unknown_behavior():
+    with pytest.raises(ConfigurationError, match="unknown behaviour"):
+        FaultAction(at_ms=0, kind="set-behavior", node="z0n1",
+                    behavior="helpful").validate()
+
+
+def test_scenario_rejects_budget_expectation_mismatch():
+    # The budget implies the expectation — that pairing is the
+    # containment claim, so declaring them inconsistently is an error.
+    with pytest.raises(ConfigurationError, match="containment claim"):
+        _scenario([FaultAction(at_ms=100, kind="crash", node="z0n1")],
+                  budget="<=f", expect="violation").validate(f=1)
+
+
+def test_scenario_rejects_overspent_budget():
+    actions = [FaultAction(at_ms=100, kind="crash", node="z0n1"),
+               FaultAction(at_ms=200, kind="crash", node="z0n2")]
+    with pytest.raises(ConfigurationError, match="corrupts > 1"):
+        _scenario(actions).validate(f=1)
+    # Same faults spread across zones stay within the per-zone budget.
+    spread = [FaultAction(at_ms=100, kind="crash", node="z0n1"),
+              FaultAction(at_ms=200, kind="crash", node="z1n2")]
+    _scenario(spread).validate(f=1)
+
+
+def test_scenario_rejects_underspent_over_budget_claim():
+    with pytest.raises(ConfigurationError, match="no\\s+zone has more"):
+        _scenario([FaultAction(at_ms=100, kind="crash", node="z0n1")],
+                  budget=">f", expect="violation").validate(f=1)
+
+
+def test_scenario_rejects_action_after_run_ends():
+    with pytest.raises(ConfigurationError, match="after the"):
+        _scenario([FaultAction(at_ms=5_000, kind="crash",
+                               node="z0n1")]).validate(f=1)
+
+
+def test_heals_do_not_consume_budget():
+    scenario = _scenario([
+        FaultAction(at_ms=100, kind="set-behavior", node="z0n1",
+                    behavior="silent"),
+        FaultAction(at_ms=500, kind="set-behavior", node="z0n1",
+                    behavior="honest"),
+        FaultAction(at_ms=600, kind="heal-partition"),
+    ])
+    scenario.validate(f=1)
+    assert scenario.faulty_nodes_by_zone() == {"z0": {"z0n1"}}
+    assert scenario.heal_times() == [500, 600]
+
+
+# ----------------------------------------------------------------------
+# Campaign registry
+# ----------------------------------------------------------------------
+
+def test_registered_campaigns_are_internally_consistent():
+    assert set(campaign_names()) >= {"default", "smoke"}
+    for name in campaign_names():
+        scenarios = campaign(name)
+        assert len({s.name for s in scenarios}) == len(scenarios)
+        for scenario in scenarios:
+            scenario.validate(f=1)
+
+
+def test_default_campaign_spans_the_required_fault_classes():
+    scenarios = CAMPAIGNS["default"]
+    assert len(scenarios) >= 10
+    kinds = {a.kind for s in scenarios for a in s.actions}
+    assert {"set-behavior", "crash", "recover", "partition-zones",
+            "partition-nodes", "heal-partition", "link-drop"} <= kinds
+    budgets = {s.budget for s in scenarios}
+    assert budgets == {"<=f", ">f"}
+    # Primary-targeted attacks are resolved symbolically at fire time.
+    assert any(a.node.startswith("primary:")
+               for s in scenarios for a in s.actions)
+
+
+def test_smoke_campaign_is_a_subset_of_default():
+    default_names = {s.name for s in CAMPAIGNS["default"]}
+    assert {s.name for s in CAMPAIGNS["smoke"]} <= default_names
+
+
+def test_unknown_campaign_name_is_a_config_error():
+    with pytest.raises(ConfigurationError, match="unknown campaign"):
+        campaign("does-not-exist")
+
+
+# ----------------------------------------------------------------------
+# Runner + resilience scoring
+# ----------------------------------------------------------------------
+
+_SAFE = Scenario(
+    name="crash-recover-short", description="one backup crash, heals",
+    budget="<=f", expect="safe",
+    actions=(FaultAction(at_ms=200.0, kind="crash", node="z0n3"),
+             FaultAction(at_ms=600.0, kind="recover", node="z0n3")),
+    duration_ms=1_200.0, clients_per_zone=2)
+
+_VIOLATION = Scenario(
+    name="silent-pair-short", description="two z0 backups go silent",
+    budget=">f", expect="violation",
+    actions=(FaultAction(at_ms=200.0, kind="set-behavior", node="z0n1",
+                         behavior="silent"),
+             FaultAction(at_ms=200.0, kind="set-behavior", node="z0n2",
+                         behavior="silent")),
+    duration_ms=3_000.0, clients_per_zone=2)
+
+
+def test_within_budget_scenario_is_safe_with_bounded_recovery():
+    result = run_scenario(_SAFE, seed=3)
+    assert result.observed == "safe"
+    assert result.verdict == "pass"
+    assert result.reasons == []
+    assert result.violation_kinds == {}
+    assert result.metrics.completed > 0
+    cleared = [v for v in result.recovery_ms.values() if v is not None]
+    assert cleared and max(cleared) <= _SAFE.max_recovery_ms
+
+
+def test_over_budget_scenario_is_flagged():
+    result = run_scenario(_VIOLATION, seed=3)
+    assert result.observed == "violation"
+    assert result.verdict == "pass"       # flagged as declared
+    assert result.violation_kinds
+
+
+def test_same_seed_gives_byte_identical_report():
+    def one_run():
+        outcome = CampaignResult(name="adhoc", seed=7, num_zones=3, f=1)
+        outcome.results.append(run_scenario(_SAFE, seed=7))
+        return report_json(outcome)
+
+    first, second = one_run(), one_run()
+    assert first == second
+    report = json.loads(first)
+    assert report["format"] == "repro-resilience-report"
+    assert report["verdict"] == "PASS"
+    assert report["scenarios"][0]["scenario"]["name"] == _SAFE.name
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+def test_cli_rejects_unknown_campaign(capsys):
+    from repro.cli import main
+    assert main(["chaos", "--campaign", "nope"]) == 2
+    assert "unknown campaign" in capsys.readouterr().err
+
+
+def test_cli_runs_a_campaign_and_writes_the_report(tmp_path, capsys,
+                                                   monkeypatch):
+    from repro.cli import main
+    monkeypatch.setitem(CAMPAIGNS, "tiny", (_SAFE,))
+    out = tmp_path / "resilience.json"
+    code = main(["chaos", "--campaign", "tiny", "--seed", "3",
+                 "--out", str(out)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "resilience campaign 'tiny'" in captured.out
+    assert "verdict: PASS" in captured.out
+    report = json.loads(out.read_text())
+    assert report["campaign"] == "tiny"
+    assert report["verdict"] == "PASS"
+    assert len(report["scenarios"]) == 1
+
+
+def test_cli_exits_4_on_verdict_divergence(capsys, monkeypatch):
+    from dataclasses import replace
+
+    from repro.cli import main
+    # Judge the safe short run against an impossible recovery bound so
+    # the observed outcome diverges from the declaration.
+    rigged = replace(_SAFE, name="rigged-recovery-bound",
+                     max_recovery_ms=0.001)
+    monkeypatch.setitem(CAMPAIGNS, "rigged", (rigged,))
+    code = main(["chaos", "--campaign", "rigged", "--seed", "3",
+                 "--format", "json"])
+    assert code == 4
+    report = json.loads(capsys.readouterr().out)
+    assert report["verdict"] == "FAIL"

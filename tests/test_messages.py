@@ -126,7 +126,8 @@ def test_codec_round_trips_every_wire_message(keys):
                                 Prepared, PreparedProof, Promise,
                                 ResponseQuery, StateTransfer, ViewChange)
     from repro.messages.base import decode_message, encode_message
-    from repro.messages.pbft import Prepare as PbftPrepare
+    from repro.messages.pbft import (CheckpointFetch, CheckpointSnapshot,
+                                     Prepare as PbftPrepare)
 
     ballot = Ballot(2, "z0")
     prev = GENESIS_BALLOT
@@ -170,6 +171,9 @@ def test_codec_round_trips_every_wire_message(keys):
         PbftPrepare(view=0, sequence=1, batch_digest=b"d", sender="n1"),
         Commit(view=0, sequence=1, batch_digest=b"d", sender="n1"),
         CheckpointMsg(sequence=10, state_digest=b"s", sender="n1"),
+        CheckpointFetch(sequence=10, sender="n2"),
+        CheckpointSnapshot(sequence=10, state_digest=b"s",
+                           snapshot={"c": {"bal": 5}}, sender="n1"),
         ViewChange(new_view=1, last_stable_sequence=0,
                    prepared_proofs=(PreparedProof(pre_prepare=pp,
                                                   prepares=(prep,)),),

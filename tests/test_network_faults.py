@@ -116,6 +116,70 @@ def test_clear_faults_heals_everything():
     assert [m for _, _, m in b.received] == ["ok"]
 
 
+def test_clear_faults_restores_disconnected_nodes():
+    # Regression: clear_faults() must undo disconnect() (not only
+    # partitions and drop rules), and traffic must flow again in *both*
+    # directions without an explicit reconnect().
+    sim, net = make_net()
+    a, b = pair(net, sim, Region.OHIO, Region.OHIO)
+    net.set_partition([{"a"}, {"b"}])
+    net.disconnect("b")
+    net.send("a", "b", "lost")       # dropped: partitioned + disconnected
+    net.clear_faults()
+    net.send("a", "b", "a-to-b")
+    net.send("b", "a", "b-to-a")
+    sim.run()
+    assert [m for _, _, m in b.received] == ["a-to-b"]
+    assert [m for _, _, m in a.received] == ["b-to-a"]
+    assert net.stats.dropped == 1
+
+
+def test_clear_faults_does_not_recover_crashed_processes():
+    # clear_faults heals *network* faults only; a crashed process keeps
+    # dropping deliveries until Process.recover().
+    from repro.sim.process import Process
+
+    class Real(Process):
+        def __init__(self, sim, node_id):
+            super().__init__(sim, node_id)
+            self.got = []
+
+        def on_message(self, sender, message):
+            self.got.append(message)
+
+    sim, net = make_net()
+    a, _ = pair(net, sim, Region.OHIO, Region.OHIO)
+    c = Real(sim, "c")
+    net.register(c, Region.OHIO)
+    c.crash()
+    net.clear_faults()
+    net.send("a", "c", "y")
+    sim.run()
+    assert c.got == []
+    c.recover()
+    net.send("a", "c", "z")
+    sim.run()
+    assert c.got == ["z"]
+
+
+def test_set_link_drop_is_symmetric():
+    sim, net = make_net()
+    a, b = pair(net, sim, Region.OHIO, Region.OHIO)
+    net.set_link_drop("a", "b", 1.0)
+    net.send("a", "b", "down")
+    net.send("b", "a", "up")
+    sim.run()
+    assert b.received == [] and a.received == []
+    assert net.stats.dropped == 2
+    net.set_link_drop("a", "b", 0.0)   # heals both directions
+    assert net._drop_rate == {}
+    net.send("a", "b", "down2")
+    net.send("b", "a", "up2")
+    sim.run()
+    assert [m for _, _, m in b.received] == ["down2"]
+    assert [m for _, _, m in a.received] == ["up2"]
+
+
 def test_fault_events_recorded_on_bus():
     obs = Instrumentation(recording=True)
     sim, net = make_net(obs=obs)

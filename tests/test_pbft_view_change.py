@@ -71,6 +71,69 @@ def test_view_change_does_not_double_execute():
         assert node.replica.app.balance_of("c1") == 110
 
 
+def test_view_change_stalls_under_partition_and_completes_on_heal():
+    """A mid-run partition that blocks the view-change quorum must only
+    delay the fail-over, not wedge it: once the partition heals, the
+    survivors converge on a common view and the pending request commits."""
+    sim, net, keys, group, nodes = build_group()
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 50)])
+    assert done[0].result == ("ok", 50)
+
+    # Crash the primary AND split the three survivors 2|1: no group of
+    # 2f+1 replicas can exchange view-change messages, so the fail-over
+    # cannot complete while the partition holds.
+    nodes[0].crash()
+    net.set_partition([("n1", "n2", "c1"), ("n3",)])
+    completed = []
+    client.on_complete = completed.append
+    client.submit(("deposit", 5))
+    sim.run(until=sim.now + 3_000)
+    assert completed == []
+    # The majority side keeps timing out into ever-higher views without
+    # ever activating one; the minority replica is stuck in the old view.
+    assert not any(n.replica.view_active and n.replica.view >= 1
+                   for n in nodes[1:])
+
+    net.set_partition(None)
+    sim.run(until=sim.now + 10_000)
+    assert [r.result for r in completed] == [("ok", 55)]
+    views = {n.replica.view for n in nodes[1:]}
+    assert len(views) == 1 and views.pop() >= 1
+    for node in nodes[1:]:
+        assert node.replica.view_active
+        assert node.replica.app.balance_of("c1") == 55
+
+
+def test_isolated_primary_rejoins_via_checkpoint_after_heal():
+    """Primary isolated by a partition at t, healed at t+Δ: the
+    survivors fail over and keep serving during the split, and after
+    the heal the stale ex-primary re-converges through checkpoint state
+    transfer once the zone crosses its next stable checkpoint. (The
+    campaign-level twin of this — watchdog clearing included — is the
+    `primary-isolated-heals` chaos scenario.)"""
+    sim, net, keys, group, nodes = build_group(checkpoint_period=5)
+    client = make_client(sim, net, keys, group)
+    done = run_ops(sim, client, [("open", 10)])
+    assert done[0].result == ("ok", 10)
+
+    net.set_partition([("n0",), ("n1", "n2", "n3", "c1")])
+    done = run_ops(sim, client, [("deposit", 5)])
+    assert done[0].result == ("ok", 15)            # fail-over succeeded
+    assert all(n.replica.view == 1 for n in nodes[1:])
+    assert nodes[0].replica.last_executed == 1     # stale behind the split
+
+    net.set_partition(None)
+    done = run_ops(sim, client, [("deposit", 1)] * 6)
+    assert [r.result for r in done] == [("ok", v) for v in range(16, 22)]
+    sim.run(until=sim.now + 5_000)
+    # Sequences 2-5 were garbage-collected zone-wide at the checkpoint,
+    # so the snapshot fetch is the ex-primary's only way back.
+    stale = nodes[0].replica
+    assert stale.last_executed >= 5
+    assert stale.app.balance_of("c1") >= 18
+
+
 def test_progress_resumes_after_primary_recovers_in_new_view():
     sim, net, keys, group, nodes = build_group()
     client = make_client(sim, net, keys, group)
