@@ -14,15 +14,22 @@ sweeps' *structure* matches the paper:
 from __future__ import annotations
 
 from repro.bench.runner import PointResult, PointSpec, run_point
+from repro.errors import ConfigurationError
 
 __all__ = [
     "CLIENT_SWEEP",
     "GLOBAL_FRACTIONS",
     "ZONE_COUNTS",
+    "fig4_fig5_specs",
     "fig4_fig5_sweep",
+    "fig6_specs",
     "fig6_node_failure",
+    "fig7_specs",
     "fig7_zone_size",
+    "fig8_specs",
     "fig8_zone_clusters",
+    "FIGURE_SPECS",
+    "figure_specs",
 ]
 
 #: Clients per zone (paper: 10..500; scaled to the DES).
@@ -45,21 +52,39 @@ def _point(spec: PointSpec) -> PointResult:
     return result
 
 
+def fig4_fig5_specs(zone_counts=ZONE_COUNTS,
+                    global_fractions=GLOBAL_FRACTIONS,
+                    client_sweep=CLIENT_SWEEP,
+                    protocols=FIG4_PROTOCOLS) -> list[PointSpec]:
+    """Experiment grid behind Figures 4 and 5 (specs only, no runs)."""
+    return [PointSpec(protocol=protocol, num_zones=num_zones,
+                      clients_per_zone=clients, global_fraction=fraction)
+            for num_zones in zone_counts
+            for fraction in global_fractions
+            for protocol in protocols
+            for clients in client_sweep]
+
+
 def fig4_fig5_sweep(zone_counts=ZONE_COUNTS,
                     global_fractions=GLOBAL_FRACTIONS,
                     client_sweep=CLIENT_SWEEP,
                     protocols=FIG4_PROTOCOLS) -> list[PointResult]:
     """The shared sweep behind Figures 4 (throughput) and 5 (latency)."""
-    results = []
-    for num_zones in zone_counts:
-        for fraction in global_fractions:
-            for protocol in protocols:
-                for clients in client_sweep:
-                    results.append(_point(PointSpec(
-                        protocol=protocol, num_zones=num_zones,
-                        clients_per_zone=clients,
-                        global_fraction=fraction)))
-    return results
+    return [_point(spec) for spec in fig4_fig5_specs(
+        zone_counts, global_fractions, client_sweep, protocols)]
+
+
+def fig6_specs(zone_counts=ZONE_COUNTS,
+               protocols=FIG4_PROTOCOLS,
+               clients_per_zone: int = 120,
+               global_fraction: float = 0.1) -> list[PointSpec]:
+    """Experiment grid behind Figure 6 (specs only, no runs)."""
+    return [PointSpec(protocol=protocol, num_zones=num_zones,
+                      clients_per_zone=clients_per_zone,
+                      global_fraction=global_fraction,
+                      backup_failures_per_zone=1)
+            for num_zones in zone_counts
+            for protocol in protocols]
 
 
 def fig6_node_failure(zone_counts=ZONE_COUNTS,
@@ -67,15 +92,20 @@ def fig6_node_failure(zone_counts=ZONE_COUNTS,
                       clients_per_zone: int = 120,
                       global_fraction: float = 0.1) -> list[PointResult]:
     """Peak performance under a single backup failure in each zone."""
-    results = []
-    for num_zones in zone_counts:
-        for protocol in protocols:
-            results.append(_point(PointSpec(
-                protocol=protocol, num_zones=num_zones,
-                clients_per_zone=clients_per_zone,
-                global_fraction=global_fraction,
-                backup_failures_per_zone=1)))
-    return results
+    return [_point(spec) for spec in fig6_specs(
+        zone_counts, protocols, clients_per_zone, global_fraction)]
+
+
+def fig7_specs(f_values=(1, 2, 3, 4, 5),
+               protocols=("ziziphus", "two-level", "flat-pbft"),
+               clients_per_zone: int = 50,
+               global_fraction: float = 0.1) -> list[PointSpec]:
+    """Experiment grid behind Figure 7 (specs only, no runs)."""
+    return [PointSpec(protocol=protocol, num_zones=3, f=f,
+                      clients_per_zone=clients_per_zone,
+                      global_fraction=global_fraction)
+            for f in f_values
+            for protocol in protocols]
 
 
 def fig7_zone_size(f_values=(1, 2, 3, 4, 5),
@@ -83,14 +113,23 @@ def fig7_zone_size(f_values=(1, 2, 3, 4, 5),
                    clients_per_zone: int = 50,
                    global_fraction: float = 0.1) -> list[PointResult]:
     """Fault-tolerance scalability: zone size 3f+1 for f=1..5, 3 zones."""
-    results = []
-    for f in f_values:
-        for protocol in protocols:
-            results.append(_point(PointSpec(
-                protocol=protocol, num_zones=3, f=f,
+    return [_point(spec) for spec in fig7_specs(
+        f_values, protocols, clients_per_zone, global_fraction)]
+
+
+def fig8_specs(cluster_counts=(1, 2, 4, 6),
+               workloads=((0.1, 0.1), (0.1, 0.5), (0.3, 0.1),
+                          (0.3, 0.5), (0.5, 0.1), (0.5, 0.5)),
+               clients_per_zone: int = 30) -> list[PointSpec]:
+    """Experiment grid behind Figure 8 (specs only, no runs)."""
+    return [PointSpec(
+                protocol="ziziphus", num_zones=3 * clusters,
+                num_clusters=clusters, zones_per_cluster=3,
                 clients_per_zone=clients_per_zone,
-                global_fraction=global_fraction)))
-    return results
+                global_fraction=global_fraction,
+                cross_cluster_fraction=cross_fraction if clusters > 1 else 0.0)
+            for clusters in cluster_counts
+            for global_fraction, cross_fraction in workloads]
 
 
 def fig8_zone_clusters(cluster_counts=(1, 2, 4, 6),
@@ -98,13 +137,26 @@ def fig8_zone_clusters(cluster_counts=(1, 2, 4, 6),
                                   (0.3, 0.5), (0.5, 0.1), (0.5, 0.5)),
                        clients_per_zone: int = 30) -> list[PointResult]:
     """Scalability with zone clusters (3 zones per cluster, Ziziphus only)."""
-    results = []
-    for clusters in cluster_counts:
-        for global_fraction, cross_fraction in workloads:
-            results.append(_point(PointSpec(
-                protocol="ziziphus", num_zones=3 * clusters,
-                num_clusters=clusters, zones_per_cluster=3,
-                clients_per_zone=clients_per_zone,
-                global_fraction=global_fraction,
-                cross_cluster_fraction=cross_fraction if clusters > 1 else 0.0)))
-    return results
+    return [_point(spec) for spec in fig8_specs(
+        cluster_counts, workloads, clients_per_zone)]
+
+
+#: Figure name -> spec-grid factory, the parallel runner's entry table.
+FIGURE_SPECS = {
+    "fig4": fig4_fig5_specs,
+    "fig5": fig4_fig5_specs,
+    "fig6": fig6_specs,
+    "fig7": fig7_specs,
+    "fig8": fig8_specs,
+}
+
+
+def figure_specs(name: str) -> list[PointSpec]:
+    """The experiment grid of one named paper figure."""
+    try:
+        factory = FIGURE_SPECS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown figure {name!r}; valid names are: "
+            + ", ".join(FIGURE_SPECS)) from None
+    return factory()

@@ -1,0 +1,81 @@
+"""Deterministic process-pool fan-out for experiment grids.
+
+Every experiment point is an independent, fully seeded simulation, so a
+grid can be spread over worker processes with *zero* effect on the
+results: each worker runs :func:`~repro.bench.runner.run_point` on its
+own :class:`PointSpec` and returns a plain row dict (pure picklable
+data), and rows are merged back in grid order. ``jobs=N`` output is
+therefore byte-identical to ``jobs=1`` — the determinism contract the
+``--jobs`` CLI flag and its tests pin.
+
+The pool uses the ``fork`` start method where available (Linux): workers
+inherit ``sys.path``, so ``PYTHONPATH=src`` runs need no installed
+package. Workers never ship simulator state across the process boundary;
+only specs go in and row dicts come out.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.bench.runner import PointResult, PointSpec, run_point
+
+__all__ = ["point_row", "run_grid", "grid_rows"]
+
+
+def point_row(result: PointResult) -> dict:
+    """Flatten one result to the report row the CLI tables print."""
+    row = result.row()
+    metrics = result.metrics
+    row["local_ms"] = round(metrics.local_latency_ms, 2)
+    row["global_ms"] = round(metrics.global_latency_ms, 1)
+    return row
+
+
+def _run_spec(spec: PointSpec) -> dict:
+    """Worker: run one point, return its row (module-level: picklable)."""
+    return point_row(run_point(spec))
+
+
+def pool_context() -> multiprocessing.context.BaseContext:
+    """The multiprocessing context grid workers are spawned with."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_grid(specs: list[PointSpec], jobs: int = 1) -> list[dict]:
+    """Run an experiment grid, optionally across worker processes.
+
+    Args:
+        specs: the grid, in output order. Duplicate specs (e.g. a figure
+            sharing points with another) are simulated once.
+        jobs: worker processes; ``<= 1`` runs serially in-process.
+
+    Returns:
+        One row dict per input spec, in input order, independent of
+        ``jobs``.
+    """
+    unique: list[PointSpec] = []
+    seen: set[PointSpec] = set()
+    for spec in specs:
+        if spec not in seen:
+            seen.add(spec)
+            unique.append(spec)
+    if jobs <= 1 or len(unique) <= 1:
+        rows = {spec: _run_spec(spec) for spec in unique}
+    else:
+        workers = min(jobs, len(unique))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=pool_context()) as pool:
+            rows = dict(zip(unique, pool.map(_run_spec, unique)))
+    return [dict(rows[spec]) for spec in specs]
+
+
+def grid_rows(figure: str, jobs: int = 1) -> list[dict]:
+    """Rows of one named paper figure (see ``experiments.FIGURE_SPECS``)."""
+    from repro.bench.experiments import figure_specs
+
+    return run_grid(figure_specs(figure), jobs=jobs)

@@ -420,16 +420,44 @@ def run_scenario(scenario: Scenario, seed: int = 1, num_zones: int = 3,
                           twin=compare_to_twin(metrics, twin))
 
 
+def _scenario_job(task: tuple) -> ScenarioResult:
+    """Worker: run one campaign scenario in a separate process.
+
+    The task names the scenario by ``(campaign, index)`` so only plain
+    data crosses the process boundary; the worker rebuilds everything
+    (its own fault-free twin included) from the shared seed. Simulations
+    are deterministic, so the result is value-identical to the serial
+    path — which is what keeps ``--jobs N`` reports byte-identical.
+    """
+    name, index, seed, num_zones, f = task
+    scenario = lookup_campaign(name)[index]
+    return run_scenario(scenario, seed=seed, num_zones=num_zones, f=f)
+
+
 def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
-                 f: int = 1) -> CampaignResult:
+                 f: int = 1, jobs: int = 1) -> CampaignResult:
     """Run every scenario of a campaign, sharing fault-free twins.
 
-    Twin runs are cached per workload shape (clients per zone, global
-    fraction, duration): scenarios differing only in their fault
-    schedule compare against the same baseline.
+    Serially (``jobs <= 1``), twin runs are cached per workload shape
+    (clients per zone, global fraction, duration): scenarios differing
+    only in their fault schedule compare against the same baseline.
+    With ``jobs > 1`` the scenarios fan out over a process pool, each
+    worker recomputing its own twin; determinism makes the merged
+    report byte-identical to a serial run.
     """
     scenarios = lookup_campaign(name)
     result = CampaignResult(name=name, seed=seed, num_zones=num_zones, f=f)
+    if jobs > 1 and len(scenarios) > 1:
+        from concurrent.futures import ProcessPoolExecutor
+
+        from repro.bench.parallel import pool_context
+        tasks = [(name, index, seed, num_zones, f)
+                 for index in range(len(scenarios))]
+        workers = min(jobs, len(tasks))
+        with ProcessPoolExecutor(max_workers=workers,
+                                 mp_context=pool_context()) as pool:
+            result.results.extend(pool.map(_scenario_job, tasks))
+        return result
     twins: dict[tuple, Metrics] = {}
     for scenario in scenarios:
         key = (scenario.clients_per_zone, scenario.global_fraction,

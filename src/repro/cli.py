@@ -52,6 +52,22 @@ def build_parser() -> argparse.ArgumentParser:
     # gets a one-line hint listing the valid figures instead of usage spam.
     figure.add_argument("name", metavar="NAME",
                         help=f"one of: {', '.join(FIGURES)}")
+    figure.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for the grid (default 1; "
+                             "results are identical for any value)")
+
+    bench = sub.add_parser(
+        "bench",
+        help="run a figure's experiment grid, optionally in parallel, "
+             "and emit the rows as a table or stable JSON")
+    bench.add_argument("--figure", choices=FIGURES, default="fig4")
+    bench.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1; output is "
+                            "byte-identical for any value)")
+    bench.add_argument("--format", choices=("text", "json"), default="text",
+                       help="report format (default: text)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="also write the JSON rows here")
 
     assignment = sub.add_parser(
         "analyze-assignment",
@@ -110,6 +126,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report format (default: text)")
     chaos.add_argument("--out", default=None, metavar="PATH",
                        help="also write the JSON resilience report here")
+    chaos.add_argument("--jobs", type=int, default=1,
+                       help="worker processes for the campaign (default 1; "
+                            "the report is byte-identical for any value)")
 
     baseline = sub.add_parser(
         "bench-baseline",
@@ -126,6 +145,36 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="PATH")
     check.add_argument("--tolerance", type=float, default=0.25,
                        help="allowed relative regression (default 0.25)")
+
+    perf = sub.add_parser(
+        "perf",
+        help="run the wall-clock microbenchmark suite (host speed of the "
+             "reproduction itself, not simulated metrics)")
+    perf.add_argument("--repeat", type=int, default=3,
+                      help="samples per bench; best is kept (default 3)")
+    perf.add_argument("--format", choices=("text", "json"), default="text",
+                      help="report format (default: text)")
+    perf.add_argument("--out", default=None, metavar="PATH",
+                      help="also write the JSON perf document here")
+
+    perf_baseline = sub.add_parser(
+        "perf-baseline",
+        help="run the perf suite and store the wall-clock baseline "
+             "(PERF_baseline.json)")
+    perf_baseline.add_argument("--out", default="PERF_baseline.json",
+                               metavar="PATH")
+    perf_baseline.add_argument("--repeat", type=int, default=3)
+
+    perf_check = sub.add_parser(
+        "perf-check",
+        help="re-run the perf suite and fail on wall-clock regression "
+             "beyond the ratio band vs the stored baseline")
+    perf_check.add_argument("--baseline", default="PERF_baseline.json",
+                            metavar="PATH")
+    perf_check.add_argument("--ratio", type=float, default=2.0,
+                            help="allowed slowdown factor (default 2.0; "
+                                 "generous on purpose — CI hosts are noisy)")
+    perf_check.add_argument("--repeat", type=int, default=3)
     return parser
 
 
@@ -155,11 +204,18 @@ def _spec(args: argparse.Namespace, protocol: str) -> PointSpec:
 
 
 def _row(result) -> dict:
-    row = result.row()
-    metrics = result.metrics
-    row["local_ms"] = round(metrics.local_latency_ms, 2)
-    row["global_ms"] = round(metrics.global_latency_ms, 1)
-    return row
+    from repro.bench.parallel import point_row
+
+    return point_row(result)
+
+
+def _bench_rows_json(figure: str, rows: list[dict]) -> str:
+    """Stable JSON for a figure grid: independent of --jobs and host."""
+    import json
+
+    return json.dumps({"format": "repro-bench-grid", "version": 1,
+                       "figure": figure, "rows": rows},
+                      sort_keys=True, separators=(",", ":"))
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -184,16 +240,23 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"repro figure: unknown figure {args.name!r}; "
                   f"valid names are: {', '.join(FIGURES)}", file=sys.stderr)
             return 2
-        from repro.bench import experiments
-        runner = {
-            "fig4": experiments.fig4_fig5_sweep,
-            "fig5": experiments.fig4_fig5_sweep,
-            "fig6": experiments.fig6_node_failure,
-            "fig7": experiments.fig7_zone_size,
-            "fig8": experiments.fig8_zone_clusters,
-        }[args.name]
-        results = runner()
-        print(format_table([_row(r) for r in results], title=args.name))
+        from repro.bench.parallel import grid_rows
+        print(format_table(grid_rows(args.name, jobs=args.jobs),
+                           title=args.name))
+        return 0
+
+    if args.command == "bench":
+        from pathlib import Path
+
+        from repro.bench.parallel import grid_rows
+        rows = grid_rows(args.figure, jobs=args.jobs)
+        print(_bench_rows_json(args.figure, rows)
+              if args.format == "json"
+              else format_table(rows, title=args.figure))
+        if args.out:
+            Path(args.out).write_text(
+                _bench_rows_json(args.figure, rows) + "\n")
+            print(f"\nbench rows: {args.out}", file=sys.stderr)
         return 0
 
     if args.command == "audit":
@@ -239,7 +302,8 @@ def main(argv: Sequence[str] | None = None) -> int:
                   file=sys.stderr)
             return 2
         result = run_campaign(args.campaign, seed=args.seed,
-                              num_zones=args.zones, f=args.f)
+                              num_zones=args.zones, f=args.f,
+                              jobs=args.jobs)
         print(report_json(result) if args.format == "json"
               else chaos_format(result))
         if args.out:
@@ -269,6 +333,41 @@ def main(argv: Sequence[str] | None = None) -> int:
                 print(f"REGRESSION: {problem}", file=sys.stderr)
             return 1
         print("bench-check: all points within tolerance")
+        return 0
+
+    if args.command == "perf":
+        from pathlib import Path
+
+        from repro.bench.perf import format_perf, perf_json, perf_report
+        report = perf_report(repeat=args.repeat)
+        print(perf_json(report) if args.format == "json"
+              else format_perf(report))
+        if args.out:
+            Path(args.out).write_text(perf_json(report) + "\n")
+            print(f"\nperf document: {args.out}", file=sys.stderr)
+        return 0
+
+    if args.command == "perf-baseline":
+        from repro.bench.perf import write_perf_baseline
+        path = write_perf_baseline(args.out, repeat=args.repeat)
+        print(f"perf baseline written: {path}")
+        return 0
+
+    if args.command == "perf-check":
+        from pathlib import Path
+
+        from repro.bench.perf import check_perf
+        if not Path(args.baseline).is_file():
+            print(f"repro perf-check: baseline not found: {args.baseline} "
+                  "(run `repro perf-baseline` first)", file=sys.stderr)
+            return 2
+        problems = check_perf(args.baseline, ratio=args.ratio,
+                              repeat=args.repeat)
+        if problems:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        print("perf-check: all benches within the ratio band")
         return 0
 
     if args.command == "trace":

@@ -39,11 +39,20 @@ class ZoneInfo:
                 f"zone {self.zone_id} needs >= 3f+1 members "
                 f"(got {len(self.members)} for f={self.f})"
             )
+        # Hot-path memos (the dataclass is frozen, hence the setattr
+        # spelling): certificate checks hit both per message.
+        object.__setattr__(self, "_quorum", intra_zone_quorum(self.f))
+        object.__setattr__(self, "_member_set", frozenset(self.members))
 
     @property
     def quorum(self) -> int:
         """Intra-zone certificate quorum: 2f+1."""
-        return intra_zone_quorum(self.f)
+        return self._quorum
+
+    @property
+    def member_set(self) -> frozenset[str]:
+        """Membership as a frozenset (cached; members stays the tuple)."""
+        return self._member_set
 
     def primary(self, view: int) -> str:
         """Primary of this zone in local view ``view``."""
@@ -137,7 +146,7 @@ class ZoneDirectory:
             return self._cert_verifier.is_valid_zone(cert, zone.f,
                                                      zone.members)
         if isinstance(cert, ThresholdCertificate):
-            if cert.group != frozenset(zone.members):
+            if cert.group != zone.member_set:
                 return False
             if cert.threshold < zone.quorum:
                 return False

@@ -34,8 +34,17 @@ class QuorumCertificate:
 
     @property
     def signers(self) -> frozenset[str]:
-        """The set of distinct signer ids contained in the certificate."""
-        return frozenset(sig.signer for sig in self.signatures)
+        """The set of distinct signer ids contained in the certificate.
+
+        Memoised on the (frozen) instance: certificates fan out to many
+        receivers and each used to rebuild this frozenset per access.
+        """
+        cached = self.__dict__.get("_repro_signers")
+        if cached is not None:
+            return cached
+        value = frozenset(sig.signer for sig in self.signatures)
+        object.__setattr__(self, "_repro_signers", value)
+        return value
 
     def signature_units(self) -> int:
         """Verification cost: one unit per contained signature."""
@@ -58,10 +67,21 @@ class QuorumCertificate:
 
 
 class CertificateVerifier:
-    """Validates certificates against a key registry and zone membership."""
+    """Validates certificates against a key registry and zone membership.
+
+    Validation outcomes are memoised per verifier, keyed on the
+    certificate's *content* — ``(payload_digest, signatures, quorum,
+    allowed_signers)`` — never on object identity: an equivocating
+    primary's conflicting certificate carries a different digest (and
+    different tags), so it can never hit another certificate's cache
+    entry. Within one validation the signature scan stops as soon as the
+    quorum is reached; the per-signature HMAC work itself is memoised in
+    the shared :class:`~repro.crypto.keys.KeyRegistry`.
+    """
 
     def __init__(self, keys: KeyRegistry) -> None:
         self._keys = keys
+        self._memo: dict[tuple, int] = {}
 
     def validate(self, certificate: QuorumCertificate, quorum: int,
                  allowed_signers: frozenset[str] | None = None) -> None:
@@ -69,17 +89,26 @@ class CertificateVerifier:
         carries ``quorum`` valid signatures from distinct allowed signers
         over its payload digest.
         """
-        seen: set[str] = set()
-        for sig in certificate.signatures:
-            if allowed_signers is not None and sig.signer not in allowed_signers:
-                continue
-            if sig.signer in seen:
-                continue
-            if self._keys.verify(sig, certificate.payload_digest):
-                seen.add(sig.signer)
-        if len(seen) < quorum:
+        key = (certificate.payload_digest, certificate.signatures, quorum,
+               allowed_signers)
+        valid = self._memo.get(key)
+        if valid is None:
+            seen: set[str] = set()
+            for sig in certificate.signatures:
+                if allowed_signers is not None \
+                        and sig.signer not in allowed_signers:
+                    continue
+                if sig.signer in seen:
+                    continue
+                if self._keys.verify(sig, certificate.payload_digest):
+                    seen.add(sig.signer)
+                    if len(seen) >= quorum:
+                        break
+            valid = len(seen)
+            self._memo[key] = valid
+        if valid < quorum:
             raise InvalidCertificateError(
-                f"certificate has {len(seen)} valid signatures, "
+                f"certificate has {valid} valid signatures, "
                 f"quorum of {quorum} required"
             )
 

@@ -19,8 +19,20 @@ from repro.errors import CryptoError
 
 __all__ = ["canonical_bytes", "digest", "digest_hex"]
 
-#: Per-class cache of digest-relevant dataclass fields.
-_FIELD_CACHE: dict[type, tuple] = {}
+#: Per-class cache of (digest-relevant field names, frozen?) for
+#: dataclasses: ``dataclasses.fields`` walks the MRO on every call, far
+#: too slow for the encoder hot path.
+_FIELD_CACHE: dict[type, tuple[tuple, bool]] = {}
+
+
+def _class_info(cls: type) -> tuple[tuple, bool]:
+    cached = _FIELD_CACHE.get(cls)
+    if cached is None:
+        names = tuple(f.name for f in dataclasses.fields(cls)
+                      if f.metadata.get("digest", True))
+        cached = (names, cls.__dataclass_params__.frozen)
+        _FIELD_CACHE[cls] = cached
+    return cached
 
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
@@ -69,18 +81,27 @@ def _encode(obj: Any, out: bytearray) -> None:
         for item in items:
             _encode(item, out)
     elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        # Frozen dataclasses memoise their canonical encoding on the
+        # instance: protocol messages nest shared immutable parts (the
+        # same certificate rides in many envelopes), so the nested bytes
+        # are computed once and spliced thereafter. Mutable dataclasses
+        # are re-encoded every time.
+        cached_bytes = obj.__dict__.get("_repro_canon")
+        if cached_bytes is not None:
+            out += cached_bytes
+            return
         cls = type(obj)
-        cached = _FIELD_CACHE.get(cls)
-        if cached is None:
-            cached = tuple(f.name for f in dataclasses.fields(obj)
-                           if f.metadata.get("digest", True))
-            _FIELD_CACHE[cls] = cached
+        fields, frozen = _class_info(cls)
         name = cls.__name__.encode()
-        out += _TAG_OBJ + struct.pack(">I", len(name)) + name
-        out += struct.pack(">I", len(cached))
-        for field_name in cached:
-            _encode(field_name, out)
-            _encode(getattr(obj, field_name), out)
+        sub = bytearray()
+        sub += _TAG_OBJ + struct.pack(">I", len(name)) + name
+        sub += struct.pack(">I", len(fields))
+        for field_name in fields:
+            _encode(field_name, sub)
+            _encode(getattr(obj, field_name), sub)
+        if frozen:
+            object.__setattr__(obj, "_repro_canon", bytes(sub))
+        out += sub
     else:
         raise CryptoError(f"cannot canonically encode {type(obj).__name__}")
 

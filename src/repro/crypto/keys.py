@@ -43,11 +43,23 @@ class KeyRegistry:
     honest-node code paths only ever call :meth:`sign` with their own id;
     Byzantine behaviours in :mod:`repro.pbft.faults` forge *invalid* tags,
     never another node's valid tag, preserving unforgeability.
+
+    Signing and verification are memoised per registry (mirroring the
+    digest memo in :mod:`repro.crypto.digest`): HMAC-SHA256 is a pure
+    function of ``(secret, payload_digest)``, so a certificate verified
+    once never pays the HMAC again at the next receiver. Soundness: the
+    verify memo keys on the full ``(signer, payload_digest, tag)``
+    triple — a forged tag over an already-verified digest misses the
+    cache and is recomputed (and rejected) — and both memos live on the
+    registry instance, so registries with different seeds never share
+    entries.
     """
 
     def __init__(self, seed: int = 0) -> None:
         self._seed = seed
         self._secrets: dict[str, bytes] = {}
+        self._sign_memo: dict[tuple[str, bytes], Signature] = {}
+        self._verify_memo: dict[tuple[str, bytes, bytes], bool] = {}
 
     def _secret(self, node_id: str) -> bytes:
         secret = self._secrets.get(node_id)
@@ -61,15 +73,28 @@ class KeyRegistry:
         """Produce ``signer``'s signature over ``payload_digest``."""
         if not isinstance(payload_digest, (bytes, bytearray)):
             raise CryptoError("payload digest must be bytes")
+        key = (signer, bytes(payload_digest))
+        cached = self._sign_memo.get(key)
+        if cached is not None:
+            return cached
         tag = hmac.new(self._secret(signer), payload_digest,
                        hashlib.sha256).digest()
-        return Signature(signer=signer, tag=tag)
+        signature = Signature(signer=signer, tag=tag)
+        self._sign_memo[key] = signature
+        self._verify_memo[(signer, key[1], tag)] = True
+        return signature
 
     def verify(self, signature: Signature, payload_digest: bytes) -> bool:
         """Check that ``signature`` is valid for ``payload_digest``."""
+        key = (signature.signer, bytes(payload_digest), signature.tag)
+        cached = self._verify_memo.get(key)
+        if cached is not None:
+            return cached
         expected = hmac.new(self._secret(signature.signer), payload_digest,
                             hashlib.sha256).digest()
-        return hmac.compare_digest(expected, signature.tag)
+        valid = hmac.compare_digest(expected, signature.tag)
+        self._verify_memo[key] = valid
+        return valid
 
     def forged(self, signer: str) -> Signature:
         """Return an *invalid* signature claiming to be from ``signer``.

@@ -70,15 +70,30 @@ def combine_threshold(keys: KeyRegistry, payload_digest: bytes,
 
 
 class ThresholdVerifier:
-    """Validates threshold certificates (constant-cost verification)."""
+    """Validates threshold certificates (constant-cost verification).
+
+    The *expected* aggregate tag is a pure function of
+    ``(payload_digest, group, threshold)`` under the registry's secrets,
+    so it is memoised per verifier: re-validating the same logical
+    certificate (the common fan-out case) is one dict lookup plus a
+    bytes compare. A fabricated certificate over the same digest still
+    fails — its ``tag`` is compared against the memoised *correct* tag,
+    never trusted from the incoming object.
+    """
 
     def __init__(self, keys: KeyRegistry) -> None:
         self._keys = keys
+        self._memo: dict[tuple[bytes, frozenset, int], bytes] = {}
 
     def validate(self, certificate: ThresholdCertificate) -> None:
         """Raise :class:`InvalidCertificateError` on a bad aggregate tag."""
-        expected = _group_tag(self._keys, certificate.payload_digest,
-                              certificate.group, certificate.threshold)
+        key = (certificate.payload_digest, certificate.group,
+               certificate.threshold)
+        expected = self._memo.get(key)
+        if expected is None:
+            expected = _group_tag(self._keys, certificate.payload_digest,
+                                  certificate.group, certificate.threshold)
+            self._memo[key] = expected
         if expected != certificate.tag:
             raise InvalidCertificateError("threshold certificate tag mismatch")
 

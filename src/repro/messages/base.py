@@ -57,6 +57,11 @@ class Message:
     __slots__ = ()
 
 
+#: Per-class field-name cache: ``dataclasses.fields`` walks the MRO on
+#: every call, which dominated the recursive unit count on the hot path.
+_UNIT_FIELDS: dict[type, tuple[str, ...]] = {}
+
+
 def nested_signature_units(obj: Any) -> int:
     """Count signature verifications embedded in ``obj`` (recursively)."""
     if isinstance(obj, Signature):
@@ -70,10 +75,13 @@ def nested_signature_units(obj: Any) -> int:
     if isinstance(obj, dict):
         return sum(nested_signature_units(v) for v in obj.values())
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
-        return sum(
-            nested_signature_units(getattr(obj, f.name))
-            for f in dataclasses.fields(obj)
-        )
+        cls = type(obj)
+        names = _UNIT_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(cls))
+            _UNIT_FIELDS[cls] = names
+        return sum(nested_signature_units(getattr(obj, name))
+                   for name in names)
     return 0
 
 
@@ -149,12 +157,15 @@ def _encode_value(obj: Any) -> Any:
             encoded[key] = _encode_value(value)
         return {"__map__": encoded}
     if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        cls = type(obj)
+        names = _UNIT_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(cls))
+            _UNIT_FIELDS[cls] = names
         return {
-            "__msg__": type(obj).__name__,
-            "fields": {
-                f.name: _encode_value(getattr(obj, f.name))
-                for f in dataclasses.fields(obj)
-            },
+            "__msg__": cls.__name__,
+            "fields": {name: _encode_value(getattr(obj, name))
+                       for name in names},
         }
     raise ProtocolError(
         f"cannot encode value of type {type(obj).__name__} for the wire")
@@ -193,8 +204,20 @@ def encode_message(message: Any) -> str:
     """Serialize a message (or :class:`Signed` envelope) to JSON.
 
     Output is deterministic (sorted keys, no whitespace), so equal
-    messages always encode to identical strings.
+    messages always encode to identical strings. The encoded string is
+    memoised on frozen dataclass instances — the exact counterpart of
+    the canonical-bytes memo in :mod:`repro.crypto.digest`, so a message
+    fanned out to many links is serialized once.
     """
+    if dataclasses.is_dataclass(message) and not isinstance(message, type):
+        cached = message.__dict__.get("_repro_wire")
+        if cached is not None:
+            return cached
+        encoded = json.dumps(_encode_value(message), sort_keys=True,
+                             separators=(",", ":"))
+        if type(message).__dataclass_params__.frozen:
+            object.__setattr__(message, "_repro_wire", encoded)
+        return encoded
     return json.dumps(_encode_value(message), sort_keys=True,
                       separators=(",", ":"))
 

@@ -22,7 +22,7 @@ __all__ = ["EventHandle", "Simulator"]
 class _Event:
     """Heap payload; ordering lives in the enclosing (time, seq) tuple."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "fired")
 
     def __init__(self, time: float, fn: Callable[..., None],
                  args: tuple) -> None:
@@ -30,15 +30,17 @@ class _Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self.fired = False
 
 
 class EventHandle:
     """Handle to a scheduled event; allows cancellation (e.g. timers)."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_sim")
 
-    def __init__(self, event: _Event) -> None:
+    def __init__(self, event: _Event, sim: "Simulator") -> None:
         self._event = event
+        self._sim = sim
 
     @property
     def time(self) -> float:
@@ -51,8 +53,13 @@ class EventHandle:
         return self._event.cancelled
 
     def cancel(self) -> None:
-        """Prevent the event from firing. Safe to call more than once."""
-        self._event.cancelled = True
+        """Prevent the event from firing. Safe to call more than once,
+        and a no-op on an event that already fired (so the simulator's
+        live-event accounting never counts an off-heap event)."""
+        event = self._event
+        if not event.cancelled and not event.fired:
+            event.cancelled = True
+            self._sim._note_cancelled()
 
 
 class Simulator:
@@ -65,6 +72,10 @@ class Simulator:
         sim.run()
     """
 
+    #: Heaps below this size skip compaction entirely: rebuilding a tiny
+    #: heap costs more than lazily popping its cancelled entries.
+    COMPACT_MIN_HEAP = 64
+
     def __init__(self) -> None:
         self._now = 0.0
         self._seq = 0
@@ -72,6 +83,7 @@ class Simulator:
         # comparison never reaches the (incomparable) event object.
         self._heap: list[tuple[float, int, _Event]] = []
         self._events_processed = 0
+        self._cancelled = 0
         #: Optional instrumentation bus (set by Instrumentation.attach).
         self.obs = None
 
@@ -87,8 +99,33 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still on the heap (including cancelled ones)."""
+        """Number of *live* events still scheduled (cancelled excluded)."""
+        return len(self._heap) - self._cancelled
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, cancelled entries included (diagnostics)."""
         return len(self._heap)
+
+    def _note_cancelled(self) -> None:
+        """Bookkeeping for EventHandle.cancel; compacts a mostly-dead heap.
+
+        Timers cancel constantly under chaos churn, so cancelled entries
+        can come to dominate the heap and tax every push/pop. Once more
+        than half the heap is cancelled (and it is big enough to
+        matter), the live entries are re-heapified in place. The (time,
+        seq) total order is untouched, so the pop sequence — and with it
+        every trace — is byte-identical.
+        """
+        self._cancelled += 1
+        heap = self._heap
+        if len(heap) >= self.COMPACT_MIN_HEAP \
+                and self._cancelled * 2 > len(heap):
+            # In-place so that a `run()` loop holding a reference to the
+            # heap list observes the compaction.
+            heap[:] = [entry for entry in heap if not entry[2].cancelled]
+            heapq.heapify(heap)
+            self._cancelled = 0
 
     def schedule(self, delay: float, fn: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``fn(*args)`` to run ``delay`` ms from now."""
@@ -105,14 +142,16 @@ class Simulator:
         event = _Event(time, fn, args)
         heapq.heappush(self._heap, (time, self._seq, event))
         self._seq += 1
-        return EventHandle(event)
+        return EventHandle(event, self)
 
     def step(self) -> bool:
         """Execute the next pending event. Returns False if none remain."""
         while self._heap:
             time, _, event = heapq.heappop(self._heap)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            event.fired = True
             self._now = time
             self._events_processed += 1
             if self.obs is not None:
@@ -131,26 +170,38 @@ class Simulator:
 
         Returns:
             The number of events executed by this call.
+
+        The instrumentation counter ``sim.events`` is flushed once per
+        :meth:`run` call (with the executed delta) rather than bumped
+        per event — the per-event hot loop pays one integer add instead
+        of a Counter update, and nothing reads the counter mid-run.
         """
         executed = 0
         heap = self._heap
-        while heap:
-            if max_events is not None and executed >= max_events:
-                return executed
-            time, _, event = heap[0]
-            if event.cancelled:
-                heapq.heappop(heap)
-                continue
-            if until is not None and time > until:
-                self._now = until
-                return executed
-            heapq.heappop(heap)
-            self._now = time
-            self._events_processed += 1
-            if self.obs is not None:
-                self.obs.count("sim.events")
-            event.fn(*event.args)
-            executed += 1
+        pop = heapq.heappop
+        try:
+            while heap:
+                if max_events is not None and executed >= max_events:
+                    return executed
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    pop(heap)
+                    self._cancelled -= 1
+                    continue
+                time = entry[0]
+                if until is not None and time > until:
+                    self._now = until
+                    return executed
+                pop(heap)
+                event.fired = True
+                self._now = time
+                event.fn(*event.args)
+                executed += 1
+        finally:
+            self._events_processed += executed
+            if executed and self.obs is not None:
+                self.obs.count("sim.events", executed)
         if until is not None and until > self._now:
             self._now = until
         return executed

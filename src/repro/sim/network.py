@@ -210,6 +210,16 @@ class Network:
         payload_type = type(getattr(message, "payload", message)).__name__
         obs.count("net.sent")
         obs.count_type("net.msg", payload_type)
+        self._transmit(src, dst, message, payload_type)
+
+    def _transmit(self, src: str, dst: str, message: Any,
+                  payload_type: str) -> None:
+        """Per-link half of :meth:`send`: fault rules, latency, delivery.
+
+        The per-*message* accounting (``net.sent`` and the payload-type
+        counter) is the caller's job, so :meth:`multicast` can batch it.
+        """
+        obs = self.obs
         if dst not in self._procs:
             obs.count("net.dropped")
             obs.emit(self.sim.now, "net.drop", node=src, dst=dst,
@@ -242,6 +252,19 @@ class Network:
         self.sim.schedule(delay, target.deliver, src, message)
 
     def multicast(self, src: str, dsts: Iterable[str], message: Any) -> None:
-        """Send ``message`` from ``src`` to every node in ``dsts``."""
+        """Send ``message`` from ``src`` to every node in ``dsts``.
+
+        The fan-out fast path: the payload-type name is resolved once
+        and the per-message counters are bumped in one batch, so each
+        hop pays only its own link rules, latency draw, and delivery
+        scheduling. Counter totals are identical to per-``send`` calls.
+        """
+        dsts = list(dsts)
+        if not dsts:
+            return
+        obs = self.obs
+        payload_type = type(getattr(message, "payload", message)).__name__
+        obs.count("net.sent", len(dsts))
+        obs.count_type("net.msg", payload_type, len(dsts))
         for dst in dsts:
-            self.send(src, dst, message)
+            self._transmit(src, dst, message, payload_type)

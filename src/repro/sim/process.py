@@ -97,7 +97,10 @@ class Process:
         self._busy_until = start + service
         self.queue_depth += 1
         obs = self.obs
-        if obs is not None and obs.enabled:
+        # Gated on the metrics tier, not merely `enabled`: monitor-only
+        # runs keep an enabled bus on every delivery, and none of these
+        # per-hop aggregates feed the monitor's checkers.
+        if obs is not None and obs.metrics:
             payload = getattr(message, "payload", message)
             queue_ms = start - self.sim.now
             obs.observe("cpu.queue_ms", queue_ms)

@@ -112,6 +112,84 @@ def test_step_executes_one_event():
     assert not sim.step()
 
 
+def test_pending_counts_live_events_only():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert sim.pending == 3
+    # Idempotent cancel must not double-count.
+    handles[0].cancel()
+    assert sim.pending == 3
+    sim.run()
+    assert sim.pending == 0
+    assert sim.events_processed == 3
+
+
+def test_cancel_after_fire_is_a_noop_for_accounting():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, fired.append, "x")
+    sim.schedule(2.0, fired.append, "y")
+    sim.run(max_events=1)
+    assert fired == ["x"]
+    # The event already executed; cancelling its handle must neither
+    # resurrect it nor skew the live-event count.
+    handle.cancel()
+    assert sim.pending == 1
+    sim.run()
+    assert fired == ["x", "y"]
+    assert sim.pending == 0
+
+
+def test_mostly_cancelled_heap_compacts_without_reordering():
+    sim = Simulator()
+    fired = []
+    keep = [sim.schedule(1000.0 + i, fired.append, i) for i in range(10)]
+    doomed = [sim.schedule(10.0 + i, fired.append, -1)
+              for i in range(Simulator.COMPACT_MIN_HEAP * 2)]
+    assert sim.heap_size == len(keep) + len(doomed)
+    for handle in doomed:
+        handle.cancel()
+    # Compaction kicked in: the raw heap shrank well below the churn
+    # (it stops once the heap is small enough for lazy pops to win,
+    # so a few cancelled stragglers may legitimately remain).
+    assert sim.heap_size < Simulator.COMPACT_MIN_HEAP
+    assert sim.pending == len(keep)
+    sim.run()
+    assert fired == list(range(10))
+
+
+def test_small_heaps_skip_compaction():
+    sim = Simulator()
+    handles = [sim.schedule(float(i + 1), lambda: None) for i in range(8)]
+    for handle in handles:
+        handle.cancel()
+    # Below COMPACT_MIN_HEAP the cancelled entries stay for lazy popping.
+    assert sim.heap_size == 8
+    assert sim.pending == 0
+    assert sim.run() == 0
+
+
+def test_compaction_during_run_keeps_order():
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(500.0 + i, fired.append, -1)
+              for i in range(Simulator.COMPACT_MIN_HEAP * 2)]
+
+    def cancel_all():
+        for handle in doomed:
+            handle.cancel()
+
+    sim.schedule(1.0, cancel_all)
+    sim.schedule(2.0, fired.append, "after")
+    sim.schedule(600.0, fired.append, "last")
+    sim.run()
+    assert fired == ["after", "last"]
+    assert sim.pending == 0
+
+
 @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
                           allow_nan=False), min_size=1, max_size=50))
 def test_property_execution_is_sorted_by_time(delays):
