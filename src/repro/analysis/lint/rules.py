@@ -257,6 +257,13 @@ def _mult_f(node: ast.expr, factor: int) -> bool:
             or (_is_const(right, factor) and _is_f_expr(left)))
 
 
+#: ``QuorumProfile`` kwargs that size groups or certificates: their
+#: values must be calls into :mod:`repro.quorums`, never literals or
+#: inline arithmetic (a backend must not invent its own thresholds).
+_PROFILE_SIZING_KWARGS = frozenset(
+    {"group_size", "certificate_quorum", "weak_quorum"})
+
+
 class QuorumArithmeticRule(FileRule):
     """Forbid inline quorum thresholds outside :mod:`repro.quorums`."""
 
@@ -268,6 +275,8 @@ class QuorumArithmeticRule(FileRule):
             return
         consumed: set[int] = set()
         for node in ast.walk(src.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_profile_call(src, node)
             if not isinstance(node, ast.BinOp) or id(node) in consumed:
                 continue
             matched = self._match(node, consumed)
@@ -275,6 +284,22 @@ class QuorumArithmeticRule(FileRule):
                 yield self.finding(
                     src, node,
                     f"inline quorum arithmetic {matched}")
+
+    def _check_profile_call(self, src: SourceFile,
+                            node: ast.Call) -> Iterator[Finding]:
+        func = node.func
+        name = (func.id if isinstance(func, ast.Name)
+                else func.attr if isinstance(func, ast.Attribute) else None)
+        if name != "QuorumProfile":
+            return
+        for kw in node.keywords:
+            if kw.arg not in _PROFILE_SIZING_KWARGS:
+                continue
+            if isinstance(kw.value, (ast.Constant, ast.BinOp, ast.UnaryOp)):
+                yield self.finding(
+                    src, kw.value,
+                    f"QuorumProfile {kw.arg}= built from a literal or "
+                    "inline arithmetic; call a repro.quorums helper")
 
     @staticmethod
     def _match(node: ast.BinOp, consumed: set[int]) -> str | None:

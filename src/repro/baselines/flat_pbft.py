@@ -31,7 +31,20 @@ from repro.sim.latency import LatencyModel, Region, regions_for_zones
 from repro.sim.network import Network
 from repro.sim.process import CostModel
 
-__all__ = ["FlatPBFTConfig", "FlatPBFTDeployment", "build_flat_pbft"]
+__all__ = ["FlatPBFTConfig", "FlatPBFTDeployment", "build_flat_pbft",
+           "engine_config"]
+
+
+def engine_config() -> dict:
+    """This baseline as a consensus-engine configuration.
+
+    Flat PBFT is the degenerate engine pairing: one PBFT zone engine
+    whose single group spans every region, and no global engine at all
+    (there is nothing to synchronise across zones because there are no
+    zones). See ``repro.consensus.registry`` for the pluggable pairings.
+    """
+    from repro.consensus import PBFT_ZONE
+    return {"zone": PBFT_ZONE, "sync": None, "zones_span_wan": True}
 
 
 @dataclass

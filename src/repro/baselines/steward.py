@@ -23,7 +23,21 @@ from repro.core.client import MobileClient
 from repro.core.deployment import ZiziphusConfig, ZiziphusDeployment
 from repro.messages.client import MigrationRequest
 
-__all__ = ["StewardClient", "StewardDeployment", "build_steward"]
+__all__ = ["StewardClient", "StewardDeployment", "build_steward",
+           "engine_config"]
+
+
+def engine_config() -> dict:
+    """This baseline as a consensus-engine configuration.
+
+    Steward is the *default* Ziziphus backend (PBFT zones, stable
+    initiator) driven at 100% global transactions over fully replicated
+    state — ``build_steward`` accepts a ``ZiziphusConfig``, so any
+    registered ``--backend`` pairing applies to it unchanged.
+    """
+    from repro.consensus import PBFT_ZONE, STABLE_INITIATOR
+    return {"zone": PBFT_ZONE, "sync": STABLE_INITIATOR,
+            "global_fraction": 1.0, "full_replication": True}
 
 
 class StewardClient(MobileClient):

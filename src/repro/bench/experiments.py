@@ -28,6 +28,9 @@ __all__ = [
     "fig7_zone_size",
     "fig8_specs",
     "fig8_zone_clusters",
+    "fig_backends_specs",
+    "fig_backends_comparison",
+    "fig_backends_recovery_rows",
     "FIGURE_SPECS",
     "figure_specs",
 ]
@@ -141,6 +144,55 @@ def fig8_zone_clusters(cluster_counts=(1, 2, 4, 6),
         cluster_counts, workloads, clients_per_zone)]
 
 
+def fig_backends_specs(backends=("default", "rotating", "syncbft"),
+                       global_fractions=(0.1, 0.5),
+                       client_sweep=(10, 50),
+                       num_zones: int = 3) -> list[PointSpec]:
+    """Experiment grid of the backend-comparison figure (specs only).
+
+    Sweeps the registered consensus backends over Ziziphus deployments;
+    the companion failover-recovery table comes from the chaos layer
+    (``run_campaign("failover", backend=...)``), not from this grid.
+    """
+    return [PointSpec(protocol="ziziphus", num_zones=num_zones,
+                      clients_per_zone=clients, global_fraction=fraction,
+                      backend=backend)
+            for backend in backends
+            for fraction in global_fractions
+            for clients in client_sweep]
+
+
+def fig_backends_comparison(backends=("default", "rotating", "syncbft"),
+                            global_fractions=(0.1, 0.5),
+                            client_sweep=(10, 50),
+                            num_zones: int = 3) -> list[PointResult]:
+    """Throughput/latency of each consensus backend, same workload grid."""
+    return [_point(spec) for spec in fig_backends_specs(
+        backends, global_fractions, client_sweep, num_zones)]
+
+
+def fig_backends_recovery_rows(backends=("default", "rotating", "syncbft"),
+                               seed: int = 1) -> list[dict]:
+    """Second panel of the backend figure: post-failover recovery.
+
+    Runs the failover campaign's ``initiator-crash`` scenario under each
+    backend and reports the worst probed-zone recovery latency — the
+    number the rotating-initiator backend exists to improve.
+    """
+    from repro.chaos import CAMPAIGNS, run_scenario
+    scenario = next(s for s in CAMPAIGNS["failover"]
+                    if s.name == "initiator-crash")
+    rows = []
+    for backend in backends:
+        result = run_scenario(scenario, seed=seed, backend=backend)
+        recovery = result.recovery_max_ms
+        rows.append({"backend": backend, "scenario": scenario.name,
+                     "verdict": result.verdict,
+                     "recovery_ms": (round(recovery, 2)
+                                     if recovery is not None else None)})
+    return rows
+
+
 #: Figure name -> spec-grid factory, the parallel runner's entry table.
 FIGURE_SPECS = {
     "fig4": fig4_fig5_specs,
@@ -148,6 +200,7 @@ FIGURE_SPECS = {
     "fig6": fig6_specs,
     "fig7": fig7_specs,
     "fig8": fig8_specs,
+    "fig-backends": fig_backends_specs,
 }
 
 

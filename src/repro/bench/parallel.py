@@ -78,4 +78,10 @@ def grid_rows(figure: str, jobs: int = 1) -> list[dict]:
     """Rows of one named paper figure (see ``experiments.FIGURE_SPECS``)."""
     from repro.bench.experiments import figure_specs
 
-    return run_grid(figure_specs(figure), jobs=jobs)
+    rows = run_grid(figure_specs(figure), jobs=jobs)
+    if figure == "fig-backends":
+        # Backend is the swept dimension here: fill the column in for the
+        # default rows too (elsewhere it is omitted when default).
+        for row in rows:
+            row.setdefault("backend", "default")
+    return rows

@@ -84,6 +84,8 @@ class PointSpec:
     monitor: bool = True
     #: Watchdog threshold for the monitor's liveness checker.
     stall_timeout_ms: float = 10_000.0
+    #: Named consensus backend (ziziphus/steward protocols only).
+    backend: str = "default"
 
 
 @dataclass
@@ -106,6 +108,8 @@ class PointResult:
             "clients/zone": self.spec.clients_per_zone,
             "global%": int(self.spec.global_fraction * 100),
         }
+        if self.spec.backend != "default":
+            out["backend"] = self.spec.backend
         out.update(self.metrics.row())
         return out
 
@@ -130,10 +134,15 @@ def _build(spec: PointSpec):
             num_clusters=spec.num_clusters,
             zones_per_cluster=spec.zones_per_cluster, seed=spec.seed,
             pbft=pbft, sync=sync, migration=_BENCH_MIGRATION,
-            use_threshold_signatures=spec.use_threshold_signatures)
+            use_threshold_signatures=spec.use_threshold_signatures,
+            backend=spec.backend)
         if spec.protocol == "steward":
             return build_steward(config)
         return build_ziziphus(config)
+    if spec.backend != "default":
+        raise ConfigurationError(
+            f"protocol {spec.protocol!r} does not support consensus "
+            f"backends (its engine configuration is fixed)")
     if spec.protocol == "flat-pbft":
         return build_flat_pbft(FlatPBFTConfig(
             num_zones=spec.num_zones, f_per_zone=spec.f, seed=spec.seed,

@@ -169,12 +169,43 @@ _SMOKE_NAMES = ("byz-silent-backup", "primary-crash-failover",
                 "zone-partition-heal", "byz-silent-majority",
                 "crash-over-budget")
 
-_BY_NAME = {s.name: s for s in _DEFAULT}
+#: Initiator-failover campaign (runs under every *global* consensus
+#: backend; see ``--backend``). Both scenarios target the z0 primary —
+#: under the default stable-initiator engine z0 is the cluster's
+#: initiator zone, so these measure exactly the post-failover recovery
+#: latency of the global layer. A pure-migration workload
+#: (``global_fraction=1.0``) keeps local traffic from masking it.
+_FAILOVER: tuple[Scenario, ...] = (
+    Scenario(
+        name="initiator-crash",
+        description="the z0 primary (the stable initiator's leader) "
+                    "crashes with no heal; global progress must resume "
+                    "within the recovery bound",
+        budget="<=f", expect="safe",
+        global_fraction=1.0, max_recovery_ms=3000,
+        actions=(_crash(800, "primary:z0"),)),
+    Scenario(
+        name="initiator-churn",
+        description="repeated initiator crashes: the z0 primary crashes, "
+                    "the old one rejoins as a backup, then the *new* "
+                    "primary crashes too",
+        budget="<=f", expect="safe",
+        # Mixed workload on purpose: the rejoined node re-synchronises
+        # its view via local-zone traffic, so the *second* view change
+        # can reach quorum (a pure-migration workload leaves it stale).
+        global_fraction=0.5, max_recovery_ms=3000, duration_ms=6000,
+        actions=(_crash(700, "primary:z0"),
+                 _recover(1500, "z0n0"),
+                 _crash(2600, "primary:z0"))),
+)
+
+_BY_NAME = {s.name: s for s in _DEFAULT + _FAILOVER}
 
 #: Campaign registry: name -> ordered scenario tuple.
 CAMPAIGNS: dict[str, tuple[Scenario, ...]] = {
     "default": _DEFAULT,
     "smoke": tuple(_BY_NAME[name] for name in _SMOKE_NAMES),
+    "failover": _FAILOVER,
 }
 
 

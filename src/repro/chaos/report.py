@@ -32,8 +32,12 @@ def _scenario_row(result: ScenarioResult) -> dict:
 
 
 def resilience_report(result: CampaignResult) -> dict:
-    """Structured resilience report for one campaign run."""
-    return {
+    """Structured resilience report for one campaign run.
+
+    The ``backend`` key appears only for non-default consensus backends
+    so default-backend reports stay byte-identical across releases.
+    """
+    report = {
         "format": "repro-resilience-report",
         "version": 1,
         "campaign": result.name,
@@ -52,6 +56,9 @@ def resilience_report(result: CampaignResult) -> dict:
         },
         "scenarios": [r.as_dict() for r in result.results],
     }
+    if result.backend != "default":
+        report["backend"] = result.backend
+    return report
 
 
 def report_json(result: CampaignResult) -> str:
@@ -62,9 +69,11 @@ def report_json(result: CampaignResult) -> str:
 
 def format_report(result: CampaignResult) -> str:
     """Aligned text report: one row per scenario plus a verdict line."""
+    suffix = "" if result.backend == "default" \
+        else f", backend={result.backend}"
     title = (f"resilience campaign '{result.name}' "
              f"(seed {result.seed}, {result.num_zones} zones, "
-             f"f={result.f})")
+             f"f={result.f}{suffix})")
     lines = [format_table([_scenario_row(r) for r in result.results],
                           title=title)]
     for failure in result.failures:

@@ -131,6 +131,7 @@ class CampaignResult:
     seed: int
     num_zones: int
     f: int
+    backend: str = "default"
     results: list[ScenarioResult] = field(default_factory=list)
 
     @property
@@ -325,11 +326,13 @@ class _ChaosInjector:
             client.on_complete = chained
 
 
-def _build(scenario: Scenario, seed: int, num_zones: int, f: int):
+def _build(scenario: Scenario, seed: int, num_zones: int, f: int,
+           backend: str = "default"):
     config = ZiziphusConfig(num_zones=num_zones, f=f, seed=seed,
                             pbft=_CHAOS_PBFT, sync=_CHAOS_SYNC,
                             migration=_CHAOS_MIGRATION,
-                            use_threshold_signatures=True)
+                            use_threshold_signatures=True,
+                            backend=backend)
     deployment = build_ziziphus(config)
     return deployment
 
@@ -344,9 +347,9 @@ def _make_driver(deployment, scenario: Scenario, seed: int):
 
 
 def _run_twin(scenario: Scenario, seed: int, num_zones: int,
-              f: int) -> Metrics:
+              f: int, backend: str = "default") -> Metrics:
     """Fault-free twin: same build, same workload, no injector."""
-    deployment = _build(scenario, seed, num_zones, f)
+    deployment = _build(scenario, seed, num_zones, f, backend)
     driver = _make_driver(deployment, scenario, seed)
     driver.start()
     deployment.sim.run(until=scenario.duration_ms)
@@ -384,12 +387,13 @@ def _judge(scenario: Scenario, monitor: ProtocolMonitor,
 
 
 def run_scenario(scenario: Scenario, seed: int = 1, num_zones: int = 3,
-                 f: int = 1, twin: Metrics | None = None) -> ScenarioResult:
+                 f: int = 1, twin: Metrics | None = None,
+                 backend: str = "default") -> ScenarioResult:
     """Execute one scenario and judge it against its declaration."""
     scenario.validate(f)
     if twin is None:
-        twin = _run_twin(scenario, seed, num_zones, f)
-    deployment = _build(scenario, seed, num_zones, f)
+        twin = _run_twin(scenario, seed, num_zones, f, backend)
+    deployment = _build(scenario, seed, num_zones, f, backend)
     obs = Instrumentation(enabled=True, recording=False, metrics=False)
     obs.attach(deployment)
     monitor = ProtocolMonitor.attach(
@@ -429,13 +433,15 @@ def _scenario_job(task: tuple) -> ScenarioResult:
     are deterministic, so the result is value-identical to the serial
     path — which is what keeps ``--jobs N`` reports byte-identical.
     """
-    name, index, seed, num_zones, f = task
+    name, index, seed, num_zones, f, backend = task
     scenario = lookup_campaign(name)[index]
-    return run_scenario(scenario, seed=seed, num_zones=num_zones, f=f)
+    return run_scenario(scenario, seed=seed, num_zones=num_zones, f=f,
+                        backend=backend)
 
 
 def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
-                 f: int = 1, jobs: int = 1) -> CampaignResult:
+                 f: int = 1, jobs: int = 1,
+                 backend: str = "default") -> CampaignResult:
     """Run every scenario of a campaign, sharing fault-free twins.
 
     Serially (``jobs <= 1``), twin runs are cached per workload shape
@@ -446,12 +452,13 @@ def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
     report byte-identical to a serial run.
     """
     scenarios = lookup_campaign(name)
-    result = CampaignResult(name=name, seed=seed, num_zones=num_zones, f=f)
+    result = CampaignResult(name=name, seed=seed, num_zones=num_zones, f=f,
+                            backend=backend)
     if jobs > 1 and len(scenarios) > 1:
         from concurrent.futures import ProcessPoolExecutor
 
         from repro.bench.parallel import pool_context
-        tasks = [(name, index, seed, num_zones, f)
+        tasks = [(name, index, seed, num_zones, f, backend)
                  for index in range(len(scenarios))]
         workers = min(jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers,
@@ -463,8 +470,8 @@ def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
         key = (scenario.clients_per_zone, scenario.global_fraction,
                scenario.duration_ms)
         if key not in twins:
-            twins[key] = _run_twin(scenario, seed, num_zones, f)
+            twins[key] = _run_twin(scenario, seed, num_zones, f, backend)
         result.results.append(
             run_scenario(scenario, seed=seed, num_zones=num_zones, f=f,
-                         twin=twins[key]))
+                         twin=twins[key], backend=backend))
     return result

@@ -26,7 +26,7 @@ from repro.errors import ConfigurationError
 
 __all__ = ["main", "build_parser"]
 
-FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8")
+FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig-backends")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,6 +35,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Ziziphus (ICDE 2023) reproduction harness")
     from repro import __version__
+    from repro.consensus import backend_names
     parser.add_argument("--version", action="version",
                         version=f"repro {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
@@ -129,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--jobs", type=int, default=1,
                        help="worker processes for the campaign (default 1; "
                             "the report is byte-identical for any value)")
+    chaos.add_argument("--backend", choices=backend_names(),
+                       default="default",
+                       help="consensus backend the campaign deploys "
+                            "(default: default)")
 
     baseline = sub.add_parser(
         "bench-baseline",
@@ -190,6 +195,11 @@ def _add_point_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--measure-ms", type=float, default=500.0)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--failures-per-zone", type=int, default=0)
+    from repro.consensus import backend_names
+    parser.add_argument("--backend", choices=backend_names(),
+                        default="default",
+                        help="consensus backend (default: default; "
+                             "see repro.consensus.registry)")
 
 
 def _spec(args: argparse.Namespace, protocol: str) -> PointSpec:
@@ -200,7 +210,7 @@ def _spec(args: argparse.Namespace, protocol: str) -> PointSpec:
                      cross_cluster_fraction=args.cross_cluster_fraction,
                      backup_failures_per_zone=args.failures_per_zone,
                      warmup_ms=args.warmup_ms, measure_ms=args.measure_ms,
-                     seed=args.seed)
+                     seed=args.seed, backend=args.backend)
 
 
 def _row(result) -> dict:
@@ -243,6 +253,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         from repro.bench.parallel import grid_rows
         print(format_table(grid_rows(args.name, jobs=args.jobs),
                            title=args.name))
+        if args.name == "fig-backends":
+            from repro.bench.experiments import fig_backends_recovery_rows
+            print()
+            print(format_table(fig_backends_recovery_rows(),
+                               title="fig-backends: failover recovery"))
         return 0
 
     if args.command == "bench":
@@ -303,7 +318,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         result = run_campaign(args.campaign, seed=args.seed,
                               num_zones=args.zones, f=args.f,
-                              jobs=args.jobs)
+                              jobs=args.jobs, backend=args.backend)
         print(report_json(result) if args.format == "json"
               else chaos_format(result))
         if args.out:

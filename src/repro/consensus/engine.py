@@ -1,0 +1,214 @@
+"""Consensus engines: the pluggable policy surface of both BFT levels.
+
+Ziziphus runs consensus at two levels — PBFT inside each zone and a
+Paxos-style data-sync protocol across zones (§IV/§V). Both levels keep
+their *mechanism* (message flows, certificate formats, timers) in
+``repro.pbft`` and ``repro.core``; everything that legitimately varies
+between protocol variants is factored here into two small engine
+interfaces:
+
+- :class:`ZoneEngine` — how a zone is sized and when its certificates
+  are valid (via a :class:`~repro.consensus.profile.QuorumProfile`).
+- :class:`GlobalEngine` — who initiates a global ballot, which sequence
+  numbers a zone may assign, and what the new zone primary does for
+  in-flight ballots after a local view change (the failover policy).
+
+Engines are *stateless* singletons: all protocol state lives in the
+``SyncEngine`` / ``PBFTReplica`` instances they steer, so one engine
+object safely serves every node in a deployment. The methods are
+duck-typed against those classes (no imports from ``repro.core``), which
+keeps this package a leaf of the import graph alongside
+:mod:`repro.quorums`.
+"""
+
+from __future__ import annotations
+
+from repro.consensus.profile import QuorumProfile, pbft_profile, sync_profile
+from repro.messages.sync import Ballot
+
+__all__ = [
+    "ZoneEngine", "PBFTZoneEngine", "SyncZoneEngine",
+    "GlobalEngine", "StableInitiatorEngine", "RotatingInitiatorEngine",
+    "PBFT_ZONE", "SYNC_ZONE", "STABLE_INITIATOR", "ROTATING_INITIATOR",
+]
+
+
+class ZoneEngine:
+    """Zone-level (intra-zone BFT) consensus backend.
+
+    The PBFT machinery in :mod:`repro.pbft` is parametric in its quorum
+    profile; a zone engine supplies that profile. Certificate soundness
+    obligation: any two ``certificate_quorum``-sized sets of the zone's
+    ``group_size`` members must intersect in at least one *correct*
+    replica under the engine's fault model.
+    """
+
+    name = "zone"
+    level = "zone"
+
+    def quorum_profile(self, f: int) -> QuorumProfile:
+        raise NotImplementedError
+
+
+class PBFTZoneEngine(ZoneEngine):
+    """Default partial-synchrony PBFT zone: ``n = 3f+1``, quorum ``2f+1``."""
+
+    name = "pbft"
+
+    def quorum_profile(self, f: int) -> QuorumProfile:
+        return pbft_profile(f)
+
+
+class SyncZoneEngine(ZoneEngine):
+    """Synchronous-BFT zone (Abraham et al.): ``n = 2f+1``, quorum ``f+1``.
+
+    Runs the unmodified PBFT message flows over the smaller group; the
+    quorum intersection argument holds only under bounded message delay,
+    so this backend is sound in the simulator's default (bounded) delay
+    model but must not be deployed under partial synchrony.
+    """
+
+    name = "syncbft"
+
+    def quorum_profile(self, f: int) -> QuorumProfile:
+        return sync_profile(f)
+
+
+class GlobalEngine:
+    """Global-level (cross-zone data sync) consensus backend.
+
+    Steers the ``SyncEngine`` of ``repro.core.sync_protocol`` at its
+    three policy points: ballot/initiator assignment (:meth:`propose`,
+    :meth:`initiator_zone`, :meth:`valid_assignment`) and post-view-
+    change recovery (:meth:`on_initiator_failover`,
+    :meth:`on_follower_failover`).
+    """
+
+    name = "global"
+    level = "global"
+    #: True when the engine admits several concurrent initiators, so the
+    #: ``prev_ballot`` chains form a tree instead of one line and nodes
+    #: may apply commuting global transactions in different interleavings.
+    #: The sync engine then switches migration execution to the
+    #: order-insensitive discipline (per-client timestamp high-water mark
+    #: + certified-source adoption) and the conformance monitor judges
+    #: traces under that discipline instead of strict replay equality.
+    commuting_execution = False
+
+    def initiator_zone(self, deployment, source_zone: str,
+                       dest_zone: str) -> str:
+        """Which zone initiates the global transaction for a migration
+        from ``source_zone`` to ``dest_zone``."""
+        raise NotImplementedError
+
+    def propose(self, sync, batch) -> Ballot:
+        """Pick the ballot for a new batch on ``sync``'s node (called on
+        the initiator-zone primary). Must return a ballot strictly above
+        ``sync.highest_seen`` that :meth:`valid_assignment` accepts."""
+        raise NotImplementedError
+
+    def valid_assignment(self, ballot: Ballot, zone_ids: list[str]) -> bool:
+        """May ``ballot.zone_id`` assign ``ballot.seq`` at all?"""
+        raise NotImplementedError
+
+    def on_initiator_failover(self, sync, txn) -> None:
+        """New zone primary re-drives a ballot its own zone initiated."""
+        raise NotImplementedError
+
+    def on_follower_failover(self, sync, txn) -> None:
+        """New zone primary re-drives a ballot initiated elsewhere."""
+        raise NotImplementedError
+
+
+class StableInitiatorEngine(GlobalEngine):
+    """Default Ziziphus policy: one stable initiator zone per cluster.
+
+    Ballots take consecutive sequence numbers handed out by the single
+    initiator; any zone may claim any sequence (the Lemma 5.5 guard in
+    the sync engine arbitrates rivals). After a local view change the
+    new primary replays the standard re-drive ladder.
+    """
+
+    name = "stable"
+
+    def initiator_zone(self, deployment, source_zone: str,
+                       dest_zone: str) -> str:
+        if not deployment.config.sync.stable_leader:
+            return dest_zone
+        cluster = deployment.directory.cluster_of_zone(dest_zone)
+        return deployment.stable_leader_zone(cluster)
+
+    def propose(self, sync, batch) -> Ballot:
+        return Ballot(seq=sync.highest_seen + 1,
+                      zone_id=sync.my_zone.zone_id)
+
+    def valid_assignment(self, ballot: Ballot, zone_ids: list[str]) -> bool:
+        return True
+
+    def on_initiator_failover(self, sync, txn) -> None:
+        sync._redrive_initiator(txn)
+
+    def on_follower_failover(self, sync, txn) -> None:
+        sync._redrive_follower(txn)
+
+
+class RotatingInitiatorEngine(GlobalEngine):
+    """ezBFT-style rotating initiators: every zone initiates its own
+    migrations on a partitioned sequence space.
+
+    Zone ``i`` (by position in the deployment's zone list) owns exactly
+    the sequences ``seq % num_zones == i``, so concurrent ballots from
+    different zones can never collide on a sequence — the Lemma 5.5
+    rival case is structurally impossible, and there is no single
+    initiator whose crash stalls every in-flight global transaction.
+    Sequences are sparse; execution order still chains through
+    ``prev_ballot``, but with several concurrent initiators those chains
+    form a tree, so different nodes may apply two ballots in either
+    order. Migration execution therefore runs in commuting mode (see
+    :attr:`GlobalEngine.commuting_execution`): a client's migrations
+    converge via the request-timestamp high-water mark regardless of the
+    interleaving a node observed.
+    """
+
+    name = "rotating"
+    commuting_execution = True
+
+    def initiator_zone(self, deployment, source_zone: str,
+                       dest_zone: str) -> str:
+        return dest_zone
+
+    def _owner_index(self, zone_ids: list[str], zone_id: str) -> int:
+        try:
+            return zone_ids.index(zone_id)
+        except ValueError:
+            return -1
+
+    def propose(self, sync, batch) -> Ballot:
+        zone_ids = sync.zone_ids
+        mine = self._owner_index(zone_ids, sync.my_zone.zone_id)
+        seq = sync.highest_seen + 1
+        if mine >= 0:
+            while seq % len(zone_ids) != mine:
+                seq += 1
+        return Ballot(seq=seq, zone_id=sync.my_zone.zone_id)
+
+    def valid_assignment(self, ballot: Ballot, zone_ids: list[str]) -> bool:
+        owner = self._owner_index(zone_ids, ballot.zone_id)
+        return owner >= 0 and ballot.seq % len(zone_ids) == owner
+
+    def on_initiator_failover(self, sync, txn) -> None:
+        obs = sync._obs()
+        if obs is not None:
+            obs.emit(sync.host.sim.now, "sync.redrive",
+                     node=sync.node.node_id, ballot=sync._bkey(txn.ballot),
+                     phase=txn.phase)
+        sync._redrive_initiator(txn)
+
+    def on_follower_failover(self, sync, txn) -> None:
+        sync._redrive_follower(txn)
+
+
+PBFT_ZONE = PBFTZoneEngine()
+SYNC_ZONE = SyncZoneEngine()
+STABLE_INITIATOR = StableInitiatorEngine()
+ROTATING_INITIATOR = RotatingInitiatorEngine()

@@ -1,0 +1,60 @@
+"""Quorum profiles: the sizing contract a consensus backend publishes.
+
+A :class:`QuorumProfile` is the *only* channel through which a backend
+tells the rest of the stack (deployment sizing, certificate validation,
+checkpoint stability, the conformance monitor) how large its groups and
+certificates are. Every threshold in a profile must come from
+:mod:`repro.quorums` — the ``quorum-arith`` lint rule flags profiles
+built from inline arithmetic, so a backend cannot silently drift from
+the audited quorum discipline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.quorums import (group_size, intra_zone_quorum, sync_commit_quorum,
+                           sync_group_size, weak_quorum)
+
+__all__ = ["QuorumProfile", "pbft_profile", "sync_profile"]
+
+
+@dataclass(frozen=True)
+class QuorumProfile:
+    """Quorum sizing published by a zone-level consensus backend.
+
+    Attributes:
+        name: short identifier of the sizing scheme (``pbft`` /
+            ``syncbft``).
+        fault_model: synchrony assumption the sizing is sound under
+            (``partial-synchrony`` / ``bounded-delay``).
+        f: number of Byzantine members tolerated per zone.
+        group_size: minimum replicas per zone.
+        certificate_quorum: distinct signers a zone certificate needs;
+            also the PBFT prepare/commit and new-view quorum.
+        weak_quorum: smallest set guaranteed to contain one correct
+            node (client reply matching, view-change weak certificate).
+    """
+
+    name: str
+    fault_model: str
+    f: int
+    group_size: int
+    certificate_quorum: int
+    weak_quorum: int
+
+
+def pbft_profile(f: int) -> QuorumProfile:
+    """Classic PBFT sizing: ``n = 3f+1``, certificates of ``2f+1``."""
+    return QuorumProfile(name="pbft", fault_model="partial-synchrony", f=f,
+                         group_size=group_size(f),
+                         certificate_quorum=intra_zone_quorum(f),
+                         weak_quorum=weak_quorum(f))
+
+
+def sync_profile(f: int) -> QuorumProfile:
+    """Synchronous-BFT sizing: ``n = 2f+1``, certificates of ``f+1``."""
+    return QuorumProfile(name="syncbft", fault_model="bounded-delay", f=f,
+                         group_size=sync_group_size(f),
+                         certificate_quorum=sync_commit_quorum(f),
+                         weak_quorum=weak_quorum(f))

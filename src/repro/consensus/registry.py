@@ -1,0 +1,66 @@
+"""Registry of named consensus backends.
+
+A *backend* pairs one zone engine with one global engine; the name is
+what ``--backend`` on the CLIs, ``ZiziphusConfig.backend``, and the
+``backend`` column of bench/resilience reports refer to. The baselines
+in ``repro.baselines`` correspond to engine configurations too (see
+their ``engine_config()`` helpers), they just predate the interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.consensus.engine import (PBFT_ZONE, ROTATING_INITIATOR,
+                                    STABLE_INITIATOR, SYNC_ZONE, GlobalEngine,
+                                    ZoneEngine)
+from repro.errors import ConfigurationError
+
+__all__ = ["BackendSpec", "BACKENDS", "DEFAULT_BACKEND", "get_backend",
+           "backend_names"]
+
+
+@dataclass(frozen=True)
+class BackendSpec:
+    """A named (zone engine, global engine) pairing."""
+
+    name: str
+    description: str
+    zone: ZoneEngine
+    sync: GlobalEngine
+
+
+DEFAULT_BACKEND = "default"
+
+BACKENDS: dict[str, BackendSpec] = {
+    "default": BackendSpec(
+        name="default",
+        description="Paper protocol: PBFT zones (3f+1), stable initiator",
+        zone=PBFT_ZONE, sync=STABLE_INITIATOR),
+    "rotating": BackendSpec(
+        name="rotating",
+        description="PBFT zones, rotating initiators on a partitioned "
+                    "sequence space (ezBFT-style)",
+        zone=PBFT_ZONE, sync=ROTATING_INITIATOR),
+    "syncbft": BackendSpec(
+        name="syncbft",
+        description="Synchronous-BFT zones (2f+1, bounded delay), stable "
+                    "initiator",
+        zone=SYNC_ZONE, sync=STABLE_INITIATOR),
+}
+
+
+def get_backend(name: str) -> BackendSpec:
+    """Resolve a backend name; raise ConfigurationError when unknown."""
+    try:
+        return BACKENDS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown consensus backend {name!r}; "
+            f"registered: {', '.join(sorted(BACKENDS))}") from None
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names, default first."""
+    rest = sorted(n for n in BACKENDS if n != DEFAULT_BACKEND)
+    return (DEFAULT_BACKEND, *rest)

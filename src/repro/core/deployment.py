@@ -16,12 +16,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.app.banking import BankingApp
+from repro.consensus import get_backend
 from repro.core.client import MobileClient
 from repro.core.clusters import ClusterConfig, ClusterEngine
 from repro.core.metadata import PolicySet
 from repro.core.migration_protocol import MigrationConfig
 from repro.core.node import ZiziphusNode
-from repro.core.quorums import group_size
 from repro.core.sync_protocol import SyncConfig
 from repro.core.zone import ZoneDirectory, ZoneInfo
 from repro.crypto.keys import KeyRegistry
@@ -58,6 +58,8 @@ class ZiziphusConfig:
     latency: LatencyModel = field(default_factory=LatencyModel)
     app_factory: Callable[[], Any] = BankingApp
     use_threshold_signatures: bool = False
+    #: Named consensus backend (see :mod:`repro.consensus.registry`).
+    backend: str = "default"
     #: Per-client seeding of a node's application state at bootstrap.
     seed_client: Callable[[Any, str], None] = (
         lambda app, client_id: app.execute(("open", 10_000), client_id))
@@ -70,6 +72,7 @@ class ZiziphusDeployment:
 
     def __init__(self, config: ZiziphusConfig) -> None:
         self.config = config
+        self.backend = get_backend(config.backend)
         self.sim = Simulator()
         self.keys = KeyRegistry(seed=config.seed)
         self.network = Network(self.sim, config.latency, seed=config.seed)
@@ -102,10 +105,15 @@ class ZiziphusDeployment:
                 zone_index += 1
 
     def _add_zone(self, zone_id: str, cluster_id: str, region: Region) -> None:
-        members = tuple(f"{zone_id}n{j}"
-                        for j in range(group_size(self.config.f)))
+        profile = self.backend.zone.quorum_profile(self.config.f)
+        members = tuple(f"{zone_id}n{j}" for j in range(profile.group_size))
+        # The quorum field stays at its 3f+1 default for the pbft zone
+        # engine so default-backend topology dumps are unchanged.
+        quorum = (None if self.backend.zone.name == "pbft"
+                  else profile.certificate_quorum)
         zone = ZoneInfo(zone_id=zone_id, members=members, region=region,
-                        f=self.config.f, cluster_id=cluster_id)
+                        f=self.config.f, cluster_id=cluster_id,
+                        quorum=quorum)
         self.directory.add_zone(zone)
         self._zone_regions[zone_id] = region
 
@@ -123,7 +131,8 @@ class ZiziphusDeployment:
                     migration_config=cfg.migration,
                     cost_model=cfg.cost_model,
                     behavior=cfg.behaviors.get(node_id),
-                    use_threshold_signatures=cfg.use_threshold_signatures)
+                    use_threshold_signatures=cfg.use_threshold_signatures,
+                    backend=self.backend)
                 if multi_cluster:
                     node.cluster_engine = ClusterEngine(node, cfg.cluster)
                 self.network.register(node, zone.region)
@@ -164,13 +173,11 @@ class ZiziphusDeployment:
         return self.directory.cluster_zones(cluster_id)[0]
 
     def _resolve_initiator(self, source_zone: str, dest_zone: str) -> str:
-        if not self.config.sync.stable_leader:
-            return dest_zone
-        # Stable leader: the destination cluster's leader zone coordinates
-        # (for cross-cluster requests too, keeping each cluster's ballot
-        # chain single-writer; leaderless mode uses the paper's §VI roles).
-        dst_cluster = self.directory.cluster_of_zone(dest_zone)
-        return self.stable_leader_zone(dst_cluster)
+        # Initiator policy belongs to the global consensus backend: the
+        # stable engine routes to the destination cluster's leader zone
+        # (keeping each cluster's ballot chain single-writer); the
+        # rotating engine lets every destination zone initiate.
+        return self.backend.sync.initiator_zone(self, source_zone, dest_zone)
 
     # ------------------------------------------------------------------
     # Clients

@@ -66,12 +66,13 @@ class EndorsementManager:
 
     def __init__(self, host: HostNode, zone_members: tuple[str, ...], f: int,
                  view_provider: Callable[[], int],
-                 use_threshold: bool = False) -> None:
+                 use_threshold: bool = False,
+                 quorum: int | None = None) -> None:
         self.host = host
         self.members = tuple(zone_members)
         self.others = tuple(m for m in zone_members if m != host.node_id)
         self.f = f
-        self.quorum = intra_zone_quorum(f)
+        self.quorum = intra_zone_quorum(f) if quorum is None else quorum
         self._members_key = ",".join(self.members)
         self.view_provider = view_provider
         self.use_threshold = use_threshold

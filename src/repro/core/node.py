@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.consensus import BackendSpec, get_backend
 from repro.core.endorsement import EndorsementManager
 from repro.core.locks import LockTable
 from repro.core.metadata import GlobalMetadata, MigrationOutcome, PolicySet
@@ -49,28 +50,34 @@ class ZiziphusNode(HostNode):
                  migration_config: MigrationConfig | None = None,
                  cost_model: CostModel | None = None,
                  behavior: Behavior | None = None,
-                 use_threshold_signatures: bool = False) -> None:
+                 use_threshold_signatures: bool = False,
+                 backend: BackendSpec | None = None) -> None:
         super().__init__(sim, network, keys, node_id,
                          cost_model=cost_model, behavior=behavior)
         self.directory = directory
         self.zone_info = directory.zone(directory.zone_of(node_id))
         self.app = app
+        self.backend = backend or get_backend("default")
         self.metadata = GlobalMetadata(policies)
         self.locks = LockTable()
         self.remote_states: dict[str, CheckpointRef] = {}
         from repro.core.audit import QueryAudit
         self.query_audit = QueryAudit()
 
+        profile = self.backend.zone.quorum_profile(self.zone_info.f)
         self.replica = PBFTReplica(
             host=self, group=self.zone_info.members, f=self.zone_info.f,
             app=app, config=pbft_config,
-            accept_request=self._accept_local_request)
+            accept_request=self._accept_local_request,
+            profile=profile)
         self.endorsement = EndorsementManager(
             host=self, zone_members=self.zone_info.members,
             f=self.zone_info.f, view_provider=lambda: self.replica.view,
-            use_threshold=use_threshold_signatures)
+            use_threshold=use_threshold_signatures,
+            quorum=profile.certificate_quorum)
         cluster_zone_ids = directory.cluster_zones(self.zone_info.cluster_id)
-        self.sync = SyncEngine(self, cluster_zone_ids, sync_config)
+        self.sync = SyncEngine(self, cluster_zone_ids, sync_config,
+                               engine=self.backend.sync)
         self.migration = MigrationEngine(self, migration_config)
         from repro.core.cross_zone import CrossZoneEngine
         self.cross_zone = CrossZoneEngine(self)

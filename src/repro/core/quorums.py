@@ -8,10 +8,12 @@ files as the only places allowed to spell out ``2f+1``-style arithmetic.
 """
 
 from repro.quorums import (group_size, intra_zone_quorum, max_faulty,
-                           proxy_count, two_level_big_f, two_thirds_quorum,
-                           weak_quorum, zone_majority)
+                           proxy_count, sync_commit_quorum, sync_group_size,
+                           two_level_big_f, two_thirds_quorum, weak_quorum,
+                           zone_majority)
 
 __all__ = [
     "max_faulty", "group_size", "intra_zone_quorum", "weak_quorum",
     "proxy_count", "zone_majority", "two_thirds_quorum", "two_level_big_f",
+    "sync_group_size", "sync_commit_quorum",
 ]

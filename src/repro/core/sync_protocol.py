@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from repro.core.metadata import MigrationOutcome
 from repro.crypto.digest import digest
 from repro.messages.base import Signed, verify_signed
 from repro.messages.client import ClientReply, MigrationRequest
@@ -153,13 +154,20 @@ class SyncEngine:
 
     def __init__(self, node: "ZiziphusNode", zone_ids: list[str],
                  config: SyncConfig | None = None,
-                 instance_prefix: str = "gsync") -> None:
+                 instance_prefix: str = "gsync",
+                 engine=None) -> None:
         self.node = node
         self.directory = node.directory
         self.zone_ids = list(zone_ids)
         self.config = config or SyncConfig()
         self.prefix = instance_prefix
         self.my_zone = node.zone_info
+        if engine is None:
+            from repro.consensus import STABLE_INITIATOR
+            engine = STABLE_INITIATOR
+        #: Global consensus backend steering ballot assignment and the
+        #: post-view-change failover policy (repro.consensus).
+        self.engine = engine
         self._rng = derive_rng(0, "sync", node.node_id)
 
         self.highest_seen = 0
@@ -185,6 +193,12 @@ class SyncEngine:
         #: peer cluster is PREPARED (callback receives the txn state).
         self.hold_commit: dict[Ballot, Any] = {}
         self.migrations_executed = 0
+        #: Commuting-execution mode only: per-client request-timestamp
+        #: high-water mark of *applied* migrations. A ballot carrying an
+        #: older request of the client is superseded (skipped), which
+        #: makes application order-insensitive when concurrent initiators
+        #: fork the ``prev_ballot`` chain into a tree.
+        self._client_exec_ts: dict[str, int] = {}
 
         host = node
         host.register_handler(MigrationRequest, self._on_migration_request)
@@ -344,8 +358,8 @@ class SyncEngine:
         if isinstance(batch, Signed):
             batch = (batch,)
         batch = tuple(batch)
-        self.highest_seen += 1
-        ballot = Ballot(seq=self.highest_seen, zone_id=self.my_zone.zone_id)
+        ballot = self.engine.propose(self, batch)
+        self.highest_seen = max(self.highest_seen, ballot.seq)
         for env in batch:
             request = env.payload
             self.request_dedup[(request.sender, request.timestamp)] = ballot
@@ -430,6 +444,8 @@ class SyncEngine:
                                           batch_digest(context.requests)):
             return False
         if context.ballot.zone_id != self.my_zone.zone_id:
+            return False
+        if not self.engine.valid_assignment(context.ballot, self.zone_ids):
             return False
         if context.ballot.seq <= self.highest_seen - 1:
             return False  # stale/duplicate sequence from the primary
@@ -603,6 +619,8 @@ class SyncEngine:
             return False
         if context.ballot.zone_id != self.my_zone.zone_id:
             return False
+        if not self.engine.valid_assignment(context.ballot, self.zone_ids):
+            return False
         if not self._valid_batch(context.requests):
             return False
         request_digest = batch_digest(context.requests)
@@ -651,6 +669,8 @@ class SyncEngine:
                         valid, sender, self._bkey(accept.ballot))
         if not valid:
             return
+        if not self.engine.valid_assignment(accept.ballot, self.zone_ids):
+            return  # sequence not assignable by that zone under this backend
         rival = self.accepted_seqs.get(accept.ballot.seq)
         if rival is not None and rival != accept.ballot.zone_id:
             return  # Lemma 5.5: never endorse two ballots at one sequence
@@ -938,18 +958,47 @@ class SyncEngine:
                 adopt = (src_cluster != self.directory.cluster_of_zone(
                     request.dest_zone)
                     and self.my_zone.cluster_id != src_cluster)
-                outcome = self.node.metadata.apply_migration(
-                    request.sender, request.source_zone, request.dest_zone,
-                    adopt_source=adopt)
+                commuting = self.engine.commuting_execution
+                if commuting and request.timestamp <= \
+                        self._client_exec_ts.get(request.sender, -1):
+                    # A newer migration of this client already applied on
+                    # this node: the ballot arrived out of chain order
+                    # (concurrent initiators). Skipping it — rather than
+                    # rejecting on wrong-source — is what lets every
+                    # interleaving converge to the same meta-data.
+                    outcome = MigrationOutcome(
+                        False, "superseded", request.sender,
+                        request.source_zone, request.dest_zone)
+                else:
+                    # Commuting mode also adopts the (source-zone-
+                    # certified) claim: a node that applied the client's
+                    # migrations in a different order fixes its counts up
+                    # instead of diverging on the source check.
+                    outcome = self.node.metadata.apply_migration(
+                        request.sender, request.source_zone,
+                        request.dest_zone,
+                        adopt_source=adopt or commuting)
+                    if commuting and outcome.accepted:
+                        self._client_exec_ts[request.sender] = \
+                            request.timestamp
                 if obs is not None:
+                    extra = {}
+                    if commuting:
+                        # Node-independent claim (plus the outcome) so the
+                        # monitor can judge commuting executions; default
+                        # backends emit the exact legacy shape.
+                        extra["reason"] = outcome.reason
+                        source = request.source_zone
+                    else:
+                        source = outcome.source_zone
                     obs.emit(self.host.sim.now, "migration.executed",
                              node=self.node.node_id,
                              ballot=self._bkey(ballot),
                              client=request.sender,
                              req_ts=request.timestamp,
-                             source=outcome.source_zone,
+                             source=source,
                              dest=request.dest_zone,
-                             accepted=bool(outcome.accepted))
+                             accepted=bool(outcome.accepted), **extra)
                 results[request.sender] = outcome.as_result()
                 self.node.on_global_executed(ballot, request, outcome)
                 if is_initiator:
@@ -1144,10 +1193,12 @@ class SyncEngine:
         for txn in list(self.txns.values()):
             if txn.committed or not txn.batch:
                 continue
+            # Failover policy is an engine method: the backend decides how
+            # the new zone primary re-drives in-flight ballots.
             if txn.ballot.zone_id == self.my_zone.zone_id:
-                self._redrive_initiator(txn)
+                self.engine.on_initiator_failover(self, txn)
             else:
-                self._redrive_follower(txn)
+                self.engine.on_follower_failover(self, txn)
 
     def _redrive_initiator(self, txn: GlobalTxnState) -> None:
         if txn.phase in ("superseded",):

@@ -25,29 +25,37 @@ __all__ = ["ZoneInfo", "ZoneDirectory"]
 
 @dataclass(frozen=True)
 class ZoneInfo:
-    """Static description of one zone."""
+    """Static description of one zone.
+
+    ``quorum`` defaults to the canonical PBFT certificate quorum
+    (``2f+1`` over ``3f+1`` members); a zone running a non-default
+    consensus backend records its profile's ``certificate_quorum``
+    here, and the membership floor relaxes to that quorum.
+    """
 
     zone_id: str
     members: tuple[str, ...]
     region: Region
     f: int
     cluster_id: str = "cluster-0"
+    quorum: int | None = None
 
     def __post_init__(self) -> None:
-        if len(self.members) < group_size(self.f):
+        if self.quorum is None:
+            if len(self.members) < group_size(self.f):
+                raise ConfigurationError(
+                    f"zone {self.zone_id} needs >= 3f+1 members "
+                    f"(got {len(self.members)} for f={self.f})"
+                )
+            object.__setattr__(self, "quorum", intra_zone_quorum(self.f))
+        elif len(self.members) < self.quorum:
             raise ConfigurationError(
-                f"zone {self.zone_id} needs >= 3f+1 members "
+                f"zone {self.zone_id} needs >= quorum={self.quorum} members "
                 f"(got {len(self.members)} for f={self.f})"
             )
-        # Hot-path memos (the dataclass is frozen, hence the setattr
-        # spelling): certificate checks hit both per message.
-        object.__setattr__(self, "_quorum", intra_zone_quorum(self.f))
+        # Hot-path memo (the dataclass is frozen, hence the setattr
+        # spelling): certificate checks hit it per message.
         object.__setattr__(self, "_member_set", frozenset(self.members))
-
-    @property
-    def quorum(self) -> int:
-        """Intra-zone certificate quorum: 2f+1."""
-        return self._quorum
 
     @property
     def member_set(self) -> frozenset[str]:
@@ -144,7 +152,8 @@ class ZoneDirectory:
             return False
         if isinstance(cert, QuorumCertificate):
             return self._cert_verifier.is_valid_zone(cert, zone.f,
-                                                     zone.members)
+                                                     zone.members,
+                                                     quorum=zone.quorum)
         if isinstance(cert, ThresholdCertificate):
             if cert.group != zone.member_set:
                 return False

@@ -122,20 +122,26 @@ class CertificateVerifier:
         return True
 
     def validate_zone(self, certificate: QuorumCertificate, f: int,
-                      members: tuple[str, ...] | frozenset[str]) -> None:
+                      members: tuple[str, ...] | frozenset[str],
+                      quorum: int | None = None) -> None:
         """Validate against a zone's membership and its canonical quorum.
 
-        The quorum is derived from ``f`` through
+        By default the quorum is derived from ``f`` through
         :func:`repro.quorums.intra_zone_quorum` so call sites cannot
-        pass an ad-hoc threshold.
+        pass an ad-hoc threshold; a zone running a non-default consensus
+        backend passes the ``certificate_quorum`` of its
+        :class:`~repro.consensus.profile.QuorumProfile` instead.
         """
-        self.validate(certificate, intra_zone_quorum(f), frozenset(members))
+        if quorum is None:
+            quorum = intra_zone_quorum(f)
+        self.validate(certificate, quorum, frozenset(members))
 
     def is_valid_zone(self, certificate: QuorumCertificate, f: int,
-                      members: tuple[str, ...] | frozenset[str]) -> bool:
+                      members: tuple[str, ...] | frozenset[str],
+                      quorum: int | None = None) -> bool:
         """Boolean form of :meth:`validate_zone`."""
         try:
-            self.validate_zone(certificate, f, members)
+            self.validate_zone(certificate, f, members, quorum=quorum)
         except InvalidCertificateError:
             return False
         return True

@@ -90,6 +90,8 @@ EVENT_KINDS: dict[str, str] = {
     "sync.accepted": "ACCEPTED from a zone for a ballot",
     "sync.commit": "global commit observed for a ballot",
     "sync.execute": "global transaction executed on a node",
+    "sync.redrive": "new zone primary re-drives an in-flight ballot "
+                    "(rotating-initiator backend failover)",
     # Data migration protocol.
     "migration.executed": "migration decision executed (source/dest)",
     "migration.state_sent": "source zone shipped the client state R(c)",

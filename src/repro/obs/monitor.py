@@ -78,12 +78,21 @@ class MonitorTopology:
     """
 
     def __init__(self, zones: dict[str, dict] | None = None,
-                 clusters: dict[str, list] | None = None) -> None:
-        self.zones = {zid: {"members": list(z["members"]), "f": int(z["f"]),
-                            "cluster": z.get("cluster", "")}
-                      for zid, z in (zones or {}).items()}
+                 clusters: dict[str, list] | None = None,
+                 execution: str | None = None) -> None:
+        self.zones = {}
+        for zid, z in (zones or {}).items():
+            zone = {"members": list(z["members"]), "f": int(z["f"]),
+                    "cluster": z.get("cluster", "")}
+            if z.get("quorum") is not None:
+                zone["quorum"] = int(z["quorum"])
+            self.zones[zid] = zone
         self.clusters = {cid: list(zids)
                          for cid, zids in (clusters or {}).items()}
+        #: ``"commuting"`` when the deployment's global backend admits
+        #: concurrent initiators (see GlobalEngine.commuting_execution);
+        #: ``None`` for the default strict-replay discipline.
+        self.execution = execution
 
     @classmethod
     def from_deployment(cls, deployment: Any) -> "MonitorTopology":
@@ -93,11 +102,23 @@ class MonitorTopology:
             zones = {}
             for zone_id in directory.zone_ids:
                 info = directory.zone(zone_id)
-                zones[zone_id] = {"members": list(info.members),
-                                  "f": info.f, "cluster": info.cluster_id}
+                zone = {"members": list(info.members),
+                        "f": info.f, "cluster": info.cluster_id}
+                declared = getattr(info, "quorum", None)
+                if declared is not None and \
+                        declared != intra_zone_quorum(info.f):
+                    # Non-default consensus backend: record its profile's
+                    # certificate quorum so the checkers use it instead
+                    # of assuming 3f+1 sizing.
+                    zone["quorum"] = declared
+                zones[zone_id] = zone
             clusters = {cid: list(directory.cluster_zones(cid))
                         for cid in directory.cluster_ids}
-            return cls(zones, clusters)
+            backend = getattr(deployment, "backend", None)
+            commuting = backend is not None and \
+                getattr(backend.sync, "commuting_execution", False)
+            return cls(zones, clusters,
+                       execution="commuting" if commuting else None)
         group = getattr(deployment, "group", None)
         if group is not None:
             f = getattr(deployment, "total_f", None)
@@ -114,14 +135,18 @@ class MonitorTopology:
         return cls(zones, {"cluster-0": ["group"]})
 
     def to_dict(self) -> dict:
-        return {"zones": {zid: dict(z) for zid, z in
+        data = {"zones": {zid: dict(z) for zid, z in
                           sorted(self.zones.items())},
                 "clusters": {cid: list(zids) for cid, zids in
                              sorted(self.clusters.items())}}
+        if self.execution is not None:
+            data["execution"] = self.execution
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "MonitorTopology":
-        return cls(data.get("zones") or {}, data.get("clusters") or {})
+        return cls(data.get("zones") or {}, data.get("clusters") or {},
+                   data.get("execution"))
 
     # -- lookups (all None-tolerant for unknown zones) -----------------
     def members(self, zone_id: str) -> list | None:
@@ -130,7 +155,11 @@ class MonitorTopology:
 
     def quorum(self, zone_id: str) -> int | None:
         zone = self.zones.get(zone_id)
-        return intra_zone_quorum(zone["f"]) if zone else None
+        if zone is None:
+            return None
+        declared = zone.get("quorum")
+        return declared if declared is not None \
+            else intra_zone_quorum(zone["f"])
 
     def cluster_of(self, zone_id: str) -> str | None:
         zone = self.zones.get(zone_id)
@@ -182,6 +211,10 @@ class ProtocolMonitor:
         self._executed: dict[str, set] = {}
         # Migration atomicity state.
         self._mig_transitions: dict[tuple, tuple] = {}
+        # Commuting mode: client -> {req_ts: (source, dest, ballot)} of
+        # applied migrations; every node applying a request must agree
+        # on its destination, and no request may apply under two ballots.
+        self._commute_applied: dict[str, dict[int, tuple]] = {}
         self._owner: dict[str, str] = {}
         self._owner_applied: set = set()
         self._mig_done: dict[tuple, set] = {}
@@ -310,7 +343,9 @@ class ProtocolMonitor:
     def _on_pbft_commit(self, ts: float, node: str, f: dict) -> None:
         self.checked["pbft.commit"] += 1
         members = f["group"].split(",")
-        quorum = intra_zone_quorum(f["f"])
+        # A non-default backend stamps its certificate quorum on the
+        # event; otherwise the canonical 3f+1 sizing applies.
+        quorum = f.get("quorum") or intra_zone_quorum(f["f"])
         signers = f["signers"]
         distinct = set(signers)
         reason = ""
@@ -493,6 +528,9 @@ class ProtocolMonitor:
     def _on_migration_executed(self, ts: float, node: str,
                                f: dict) -> None:
         self.checked["migration.executed"] += 1
+        if self.topology.execution == "commuting":
+            self._on_migration_executed_commuting(ts, node, f)
+            return
         key = (f["ballot"], f["client"])
         transition = (f["source"], f["dest"], bool(f["accepted"]))
         first = self._mig_transitions.get(key)
@@ -505,6 +543,58 @@ class ProtocolMonitor:
                        dedup_key=(key, transition), ballot=f["ballot"],
                        client=f["client"], got=list(transition),
                        first=list(first))
+
+    def _on_migration_executed_commuting(self, ts: float, node: str,
+                                         f: dict) -> None:
+        """Migration checks under the commuting-execution discipline.
+
+        Concurrent-initiator backends fork the ``prev_ballot`` chain, so
+        nodes legitimately apply a client's migrations in different
+        interleavings; the protocol converges them via the per-client
+        request-timestamp high-water mark. The oracle therefore (a)
+        treats ``superseded`` skips as the discipline working, and (b)
+        replaces the trace-order ownership chain with the invariants
+        that survive reordering: every node applying a request agrees on
+        its destination, and no request applies under two ballots (the
+        high-water mark's job). Claimed sources are *not* chained — a
+        client that missed a response reissues from a stale belief, and
+        certified-source adoption makes the actual move safe anyway.
+        """
+        if f.get("reason") == "superseded":
+            return
+        key = (f["ballot"], f["client"])
+        transition = (f["source"], f["dest"], bool(f["accepted"]))
+        first = self._mig_transitions.get(key)
+        if first is None:
+            self._mig_transitions[key] = transition
+            if transition[2]:
+                self._record_commuting_apply(ts, node, f)
+        elif first != transition:
+            self._flag(ts, "migration-divergence", node,
+                       dedup_key=(key, transition), ballot=f["ballot"],
+                       client=f["client"], got=list(transition),
+                       first=list(first))
+
+    def _record_commuting_apply(self, ts: float, node: str,
+                                f: dict) -> None:
+        client = f["client"]
+        moves = self._commute_applied.setdefault(client, {})
+        prior = moves.get(f["req_ts"])
+        if prior is None:
+            moves[f["req_ts"]] = (f["source"], f["dest"], f["ballot"])
+        elif prior[:2] != (f["source"], f["dest"]):
+            # The same client request applied with two different moves
+            # (e.g. duplicate ballots that disagree on the destination).
+            self._flag(ts, "migration-dest-divergence", node,
+                       dedup_key=(client, f["req_ts"]), client=client,
+                       dest=f["dest"], expected=prior[1])
+        elif prior[2] != f["ballot"]:
+            # A retransmitted request certified under a second ballot
+            # must be skipped as superseded, not applied again.
+            self._flag(ts, "migration-duplicate", node,
+                       dedup_key=(client, f["req_ts"], f["ballot"]),
+                       client=client, ballot=f["ballot"],
+                       first_ballot=prior[2])
 
     def _apply_transition(self, ts: float, node: str, f: dict) -> None:
         if not f["accepted"]:

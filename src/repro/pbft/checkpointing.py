@@ -27,8 +27,8 @@ class CheckpointManager:
     def __init__(self, host: HostNode, group: tuple[str, ...], f: int,
                  app: Any, period: int,
                  on_stable: Callable[[int], None] | None = None,
-                 on_snapshot: Callable[[Checkpoint], None] | None = None)\
-            -> None:
+                 on_snapshot: Callable[[Checkpoint], None] | None = None,
+                 quorum: int | None = None) -> None:
         self.host = host
         self.group = group
         self.others = tuple(n for n in group if n != host.node_id)
@@ -37,7 +37,9 @@ class CheckpointManager:
         self.period = period
         self.on_stable = on_stable
         self.on_snapshot = on_snapshot
-        self.store = CheckpointStore(quorum=intra_zone_quorum(f))
+        if quorum is None:
+            quorum = intra_zone_quorum(f)
+        self.store = CheckpointStore(quorum=quorum)
         self._announced_stable = 0
 
     def register(self) -> None:

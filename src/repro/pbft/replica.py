@@ -13,7 +13,7 @@ PBFT baseline uses a single group spanning all regions.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.crypto.digest import digest
 from repro.errors import ConfigurationError
@@ -23,6 +23,9 @@ from repro.messages.pbft import Commit, Prepare, PrePrepare
 from repro.pbft.checkpointing import CheckpointManager
 from repro.pbft.host import HostNode
 from repro.quorums import group_size, intra_zone_quorum
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.consensus.profile import QuorumProfile
 
 __all__ = ["PBFTConfig", "PBFTReplica", "Slot"]
 
@@ -71,22 +74,32 @@ class PBFTReplica:
             (default: send a :class:`ClientReply` to the request's sender).
         accept_request: optional predicate vetoing requests (Ziziphus uses
             it to reject transactions from clients whose lock is FALSE).
+        profile: quorum profile of the zone's consensus backend; defaults
+            to classic PBFT sizing (``3f+1`` group, ``2f+1`` quorum).
     """
 
     def __init__(self, host: HostNode, group: tuple[str, ...], f: int,
                  app: Any, config: PBFTConfig | None = None,
                  reply_fn: Callable[[Signed, Any], None] | None = None,
                  accept_request: Callable[[ClientRequest], bool] | None = None,
+                 profile: "QuorumProfile | None" = None,
                  ) -> None:
-        if len(group) < group_size(f):
+        if profile is None:
+            if len(group) < group_size(f):
+                raise ConfigurationError(
+                    f"PBFT needs >= 3f+1 replicas (got {len(group)} for f={f})"
+                )
+        elif len(group) < profile.group_size:
             raise ConfigurationError(
-                f"PBFT needs >= 3f+1 replicas (got {len(group)} for f={f})"
+                f"{profile.name} needs >= {profile.group_size} replicas "
+                f"(got {len(group)} for f={f})"
             )
         self.host = host
         self.group = tuple(group)
         self.others = tuple(n for n in group if n != host.node_id)
         self.f = f
-        self._quorum = intra_zone_quorum(f)
+        self._quorum = (intra_zone_quorum(f) if profile is None
+                        else profile.certificate_quorum)
         #: Stable consensus-instance key for conformance-monitor events
         #: (a node may host several replicas, e.g. local + global PBFT).
         self._group_key = ",".join(self.group)
@@ -117,6 +130,7 @@ class PBFTReplica:
             period=self.config.checkpoint_period,
             on_stable=self._on_stable_checkpoint,
             on_snapshot=self._adopt_checkpoint,
+            quorum=self._quorum,
         )
         # Imported here to avoid a circular import at module load time.
         from repro.pbft.view_change import ViewChangeManager
@@ -420,11 +434,16 @@ class PBFTReplica:
         obs = self._obs()
         if obs is not None:
             digest_hex = slot.batch_digest.hex() if slot.batch_digest else ""
+            extra = {}
+            if self._quorum != intra_zone_quorum(self.f):
+                # Non-default backend: let the conformance monitor check
+                # against the engine's quorum, not the 3f+1 assumption.
+                extra["quorum"] = self._quorum
             obs.emit(self.host.sim.now, "pbft.commit",
                      node=self.host.node_id, view=slot.view,
                      sequence=slot.sequence, digest=digest_hex,
                      signers=sorted(slot.commit_senders),
-                     group=self._group_key, f=self.f)
+                     group=self._group_key, f=self.f, **extra)
         self._try_execute()
 
     # ------------------------------------------------------------------

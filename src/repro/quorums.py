@@ -30,6 +30,7 @@ from __future__ import annotations
 __all__ = [
     "max_faulty", "group_size", "intra_zone_quorum", "weak_quorum",
     "proxy_count", "zone_majority", "two_thirds_quorum", "two_level_big_f",
+    "sync_group_size", "sync_commit_quorum",
 ]
 
 
@@ -78,3 +79,24 @@ def two_thirds_quorum(group_size: int) -> int:
 def two_level_big_f(num_zones: int) -> int:
     """Top-level tolerance ``F`` of a two-level deployment: ``Z = 2F+1``."""
     return (num_zones - 1) // 2
+
+
+def sync_group_size(f: int) -> int:
+    """Group size of a *synchronous* BFT zone tolerating ``f``: ``2f+1``.
+
+    Under the bounded-delay assumption (Abraham et al., PAPERS.md) a
+    zone needs only ``2f+1`` replicas to tolerate ``f`` Byzantine
+    members, trading the partial-synchrony safety margin for a smaller
+    replication factor.
+    """
+    return 2 * f + 1
+
+
+def sync_commit_quorum(f: int) -> int:
+    """Certificate / commit quorum of a synchronous zone: ``f+1``.
+
+    With ``n = 2f+1`` any two ``f+1`` quorums intersect in at least one
+    correct replica, which suffices for agreement when message delays
+    are bounded.
+    """
+    return f + 1

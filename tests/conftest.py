@@ -30,8 +30,9 @@ def fast_sync(**overrides) -> SyncConfig:
 
 def small_ziziphus(num_zones: int = 3, f: int = 1, **config_overrides):
     """A small Ziziphus deployment for integration tests."""
-    config = ZiziphusConfig(num_zones=num_zones, f=f, pbft=fast_pbft(),
-                            sync=fast_sync(), **config_overrides)
+    config_overrides.setdefault("pbft", fast_pbft())
+    config_overrides.setdefault("sync", fast_sync())
+    config = ZiziphusConfig(num_zones=num_zones, f=f, **config_overrides)
     return build_ziziphus(config)
 
 
