@@ -31,6 +31,7 @@ __all__ = [
     "fig_backends_specs",
     "fig_backends_comparison",
     "fig_backends_recovery_rows",
+    "fig_critical_path_specs",
     "FIGURE_SPECS",
     "figure_specs",
 ]
@@ -193,6 +194,25 @@ def fig_backends_recovery_rows(backends=("default", "rotating", "syncbft"),
     return rows
 
 
+def fig_critical_path_specs(backends=("default", "rotating"),
+                            global_fractions=(0.1, 0.5),
+                            clients: int = 20,
+                            num_zones: int = 3) -> list[PointSpec]:
+    """Experiment grid of the critical-path attribution figure.
+
+    Causal-traced points whose ``attr.*`` columns split end-to-end
+    latency into submit / consensus / reply hops per backend and
+    workload mix (see :mod:`repro.obs.causal`). Sampling is off so the
+    trace carries only protocol signal.
+    """
+    return [PointSpec(protocol="ziziphus", num_zones=num_zones,
+                      clients_per_zone=clients, global_fraction=fraction,
+                      backend=backend, causal=True, record_trace=True,
+                      instrument=True, sample_interval_ms=0.0)
+            for backend in backends
+            for fraction in global_fractions]
+
+
 #: Figure name -> spec-grid factory, the parallel runner's entry table.
 FIGURE_SPECS = {
     "fig4": fig4_fig5_specs,
@@ -201,6 +221,7 @@ FIGURE_SPECS = {
     "fig7": fig7_specs,
     "fig8": fig8_specs,
     "fig-backends": fig_backends_specs,
+    "fig-critical-path": fig_critical_path_specs,
 }
 
 

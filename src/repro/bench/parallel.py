@@ -79,8 +79,8 @@ def grid_rows(figure: str, jobs: int = 1) -> list[dict]:
     from repro.bench.experiments import figure_specs
 
     rows = run_grid(figure_specs(figure), jobs=jobs)
-    if figure == "fig-backends":
-        # Backend is the swept dimension here: fill the column in for the
+    if figure in ("fig-backends", "fig-critical-path"):
+        # Backend is a swept dimension here: fill the column in for the
         # default rows too (elsewhere it is omitted when default).
         for row in rows:
             row.setdefault("backend", "default")

@@ -47,7 +47,8 @@ from repro.messages.client import ClientRequest
 from repro.quorums import group_size, intra_zone_quorum
 
 __all__ = ["PERF_BASELINE_PATH", "perf_report", "write_perf_baseline",
-           "check_perf", "format_perf"]
+           "check_perf", "format_perf", "overhead_report", "check_overhead",
+           "format_overhead", "profile_report"]
 
 PERF_BASELINE_PATH = "PERF_baseline.json"
 
@@ -229,6 +230,88 @@ def write_perf_baseline(path: str | Path = PERF_BASELINE_PATH,
     path = Path(path)
     path.write_text(perf_json(perf_report(repeat=repeat)) + "\n")
     return path
+
+
+def _overhead_spec(causal: bool):
+    """The run_point shape the overhead gate times, with/without causal.
+
+    Both sides record a full trace (the tier causal rides on), so the
+    measured delta isolates exactly what the causal tier adds: ctx
+    stamping, ``txn.*`` events, and ``trace.link`` emission.
+    """
+    from repro.bench.runner import PointSpec
+
+    return PointSpec(protocol="ziziphus", num_zones=3, f=1,
+                     clients_per_zone=20, global_fraction=0.1,
+                     warmup_ms=150.0, measure_ms=250.0, seed=7,
+                     record_trace=True, instrument=True,
+                     sample_interval_ms=0.0, causal=causal)
+
+
+def overhead_report(repeat: int = 3) -> dict:
+    """Measure the wall-time cost of causal tracing on ``run_point``.
+
+    Runs the same traced point with causal tracing off and on,
+    interleaved (off, on, off, on, ...) so drifting host load hits both
+    sides equally, and compares best-of-``repeat`` wall times. The
+    ``ratio`` is causal-on / causal-off; the CI gate budgets it at 1.05.
+    """
+    from repro.bench.runner import run_point
+
+    best = {False: float("inf"), True: float("inf")}
+    for _ in range(max(1, repeat)):
+        for causal in (False, True):
+            spec = _overhead_spec(causal)
+            start = time.perf_counter()
+            run_point(spec)
+            elapsed_ms = (time.perf_counter() - start) * 1e3
+            best[causal] = min(best[causal], elapsed_ms)
+    ratio = best[True] / best[False] if best[False] else float("inf")
+    return {"format": "repro-obs-overhead", "version": 1, "repeat": repeat,
+            "base_ms": round(best[False], 3),
+            "causal_ms": round(best[True], 3),
+            "ratio": round(ratio, 4)}
+
+
+def check_overhead(budget: float = 1.05, repeat: int = 3,
+                   current: dict | None = None) -> list[str]:
+    """Gate the causal-tracing overhead ratio against ``budget``.
+
+    Returns problem messages (empty = within budget).
+    """
+    if current is None:
+        current = overhead_report(repeat=repeat)
+    if current["ratio"] > budget:
+        return [f"causal tracing overhead {current['ratio']:.4f}x exceeds "
+                f"budget {budget:g}x (base {current['base_ms']:.1f} ms, "
+                f"causal {current['causal_ms']:.1f} ms)"]
+    return []
+
+
+def format_overhead(document: dict) -> str:
+    """One-paragraph text rendering of an overhead document."""
+    return (f"causal tracing overhead: {document['ratio']:.4f}x "
+            f"(base {document['base_ms']:.1f} ms -> "
+            f"causal {document['causal_ms']:.1f} ms, "
+            f"best of {document['repeat']})")
+
+
+def profile_report() -> dict:
+    """Self-profile the ``run_point`` bench shape's event loop.
+
+    Attaches a :class:`repro.obs.profiler.SimProfiler` to the same
+    small Ziziphus point ``repro perf`` times end-to-end, and returns
+    its per-handler / per-message report (see repro.obs.profiler for
+    which fields are deterministic).
+    """
+    from dataclasses import replace as _replace
+
+    from repro.bench.runner import run_point
+
+    spec = _replace(_overhead_spec(causal=False), record_trace=False,
+                    instrument=False, profile=True)
+    result = run_point(spec)
+    return result.profiler.report()
 
 
 def check_perf(path: str | Path = PERF_BASELINE_PATH, ratio: float = 2.0,

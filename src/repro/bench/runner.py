@@ -77,6 +77,14 @@ class PointSpec:
     #: Additionally record the full structured event trace (implies
     #: ``instrument``); export via :mod:`repro.obs.export`.
     record_trace: bool = False
+    #: Causal transaction tracing (implies ``record_trace``-level
+    #: recording): clients mint trace ids and the consensus layers emit
+    #: ``trace.link`` events; ``attr.*`` critical-path columns join the
+    #: metrics row. Off by default so plain points stay byte-identical.
+    causal: bool = False
+    #: Attach a :class:`repro.obs.profiler.SimProfiler` to the event
+    #: loop (wall-clock self-profiling; see PointResult.profiler).
+    profile: bool = False
     #: Queue-depth / utilization sampling cadence (0 disables sampling).
     sample_interval_ms: float = 25.0
     #: Always-on protocol conformance monitor (cheap tier): invariant
@@ -99,6 +107,8 @@ class PointResult:
     obs: object | None = None
     #: The finished conformance monitor (None unless ``spec.monitor``).
     monitor: object | None = None
+    #: The event-loop self-profiler (None unless ``spec.profile``).
+    profiler: object | None = None
 
     def row(self) -> dict:
         """Flat dict row for report tables."""
@@ -185,12 +195,13 @@ def run_point(spec: PointSpec) -> PointResult:
     deployment = _build(spec)
     obs = None
     monitor = None
-    instrumented = spec.instrument or spec.record_trace
+    profiler = None
+    instrumented = spec.instrument or spec.record_trace or spec.causal
     if instrumented or spec.monitor:
         # Monitor-only points skip the histogram/span tier (``metrics``):
         # the checkers ride on emit() alone, keeping always-on cheap.
         obs = Instrumentation(enabled=True, recording=spec.record_trace,
-                              metrics=instrumented)
+                              metrics=instrumented, causal=spec.causal)
         obs.attach(deployment)
         if spec.monitor:
             monitor = ProtocolMonitor.attach(
@@ -199,6 +210,10 @@ def run_point(spec: PointSpec) -> PointResult:
         if instrumented and spec.sample_interval_ms > 0:
             obs.start_sampler(deployment,
                               interval_ms=spec.sample_interval_ms)
+    if spec.profile:
+        from repro.obs.profiler import SimProfiler
+        profiler = SimProfiler()
+        deployment.sim.profiler = profiler
     driver = ClosedLoopDriver(deployment, _mix(spec),
                               clients_per_zone=spec.clients_per_zone,
                               seed=spec.seed)
@@ -215,5 +230,10 @@ def run_point(spec: PointSpec) -> PointResult:
     metrics = compute_metrics(driver.records, spec.warmup_ms, end_ms,
                               obs=obs if instrumented else None,
                               monitor=monitor)
+    if spec.causal and obs is not None:
+        # Critical-path attribution columns (p50 per hop) join the
+        # phase-breakdown block of the row.
+        from repro.obs.causal import attribution_columns
+        metrics.phase_breakdown.update(attribution_columns(obs))
     return PointResult(spec=spec, metrics=metrics, obs=obs,
-                       monitor=monitor)
+                       monitor=monitor, profiler=profiler)

@@ -70,6 +70,9 @@ _CLIENT_RETRANSMIT_MS = 400.0
 #: later than 2400 ms into a 4000 ms run, so a dead zone always ages
 #: past this before ``finish()``.
 STALL_TIMEOUT_MS = 1_500.0
+#: Flight-recorder ring size per scenario: the last N bus events kept
+#: for post-mortem dumps when a scenario diverges (repro.obs.flight).
+FLIGHT_CAPACITY = 4_096
 
 
 @dataclass
@@ -91,6 +94,9 @@ class ScenarioResult:
     recovery_ms: dict[str, float | None]
     metrics: Metrics
     twin: TwinComparison
+    #: Path of the flight-recorder dump written for a failing scenario
+    #: (None when the scenario passed or no dump directory was given).
+    flight_dump: str | None = None
 
     @property
     def passed(self) -> bool:
@@ -105,7 +111,7 @@ class ScenarioResult:
 
     def as_dict(self) -> dict:
         recovery_max = self.recovery_max_ms
-        return {
+        out = {
             "scenario": self.scenario.as_dict(),
             "observed": self.observed,
             "verdict": self.verdict,
@@ -121,6 +127,11 @@ class ScenarioResult:
             "completed": self.metrics.completed,
             "twin": self.twin.as_dict(),
         }
+        if self.flight_dump is not None:
+            # Key present only on dumped (failing) scenarios, so passing
+            # reports stay byte-identical to pre-flight-recorder runs.
+            out["flight_dump"] = self.flight_dump
+        return out
 
 
 @dataclass
@@ -388,13 +399,22 @@ def _judge(scenario: Scenario, monitor: ProtocolMonitor,
 
 def run_scenario(scenario: Scenario, seed: int = 1, num_zones: int = 3,
                  f: int = 1, twin: Metrics | None = None,
-                 backend: str = "default") -> ScenarioResult:
-    """Execute one scenario and judge it against its declaration."""
+                 backend: str = "default",
+                 flight_dir: str | None = None) -> ScenarioResult:
+    """Execute one scenario and judge it against its declaration.
+
+    ``flight_dir``, if given, is where a failing scenario dumps its
+    flight-recorder ring (the last :data:`FLIGHT_CAPACITY` bus events)
+    as ``flight-<scenario>.jsonl`` for post-mortem analysis. The ring
+    itself is always on — recording stays off, so the only per-event
+    cost is one tuple store.
+    """
     scenario.validate(f)
     if twin is None:
         twin = _run_twin(scenario, seed, num_zones, f, backend)
     deployment = _build(scenario, seed, num_zones, f, backend)
-    obs = Instrumentation(enabled=True, recording=False, metrics=False)
+    obs = Instrumentation(enabled=True, recording=False, metrics=False,
+                          flight=FLIGHT_CAPACITY)
     obs.attach(deployment)
     monitor = ProtocolMonitor.attach(
         obs, deployment,
@@ -416,12 +436,21 @@ def run_scenario(scenario: Scenario, seed: int = 1, num_zones: int = 3,
     kinds: dict[str, int] = {}
     for violation in monitor.violations:
         kinds[violation.kind] = kinds.get(violation.kind, 0) + 1
+    flight_dump = None
+    if verdict == "fail" and flight_dir is not None:
+        from pathlib import Path
+        path = Path(flight_dir) / f"flight-{scenario.name}.jsonl"
+        obs.flight.dump_jsonl(path, scenario=scenario.name, seed=seed,
+                              backend=backend,
+                              reason="; ".join(reasons))
+        flight_dump = str(path)
     return ScenarioResult(scenario=scenario, observed=observed,
                           verdict=verdict, reasons=reasons,
                           violation_kinds=kinds,
                           recovery_ms=dict(injector.recovery),
                           metrics=metrics,
-                          twin=compare_to_twin(metrics, twin))
+                          twin=compare_to_twin(metrics, twin),
+                          flight_dump=flight_dump)
 
 
 def _scenario_job(task: tuple) -> ScenarioResult:
@@ -433,15 +462,15 @@ def _scenario_job(task: tuple) -> ScenarioResult:
     are deterministic, so the result is value-identical to the serial
     path — which is what keeps ``--jobs N`` reports byte-identical.
     """
-    name, index, seed, num_zones, f, backend = task
+    name, index, seed, num_zones, f, backend, flight_dir = task
     scenario = lookup_campaign(name)[index]
     return run_scenario(scenario, seed=seed, num_zones=num_zones, f=f,
-                        backend=backend)
+                        backend=backend, flight_dir=flight_dir)
 
 
 def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
-                 f: int = 1, jobs: int = 1,
-                 backend: str = "default") -> CampaignResult:
+                 f: int = 1, jobs: int = 1, backend: str = "default",
+                 flight_dir: str | None = None) -> CampaignResult:
     """Run every scenario of a campaign, sharing fault-free twins.
 
     Serially (``jobs <= 1``), twin runs are cached per workload shape
@@ -458,7 +487,7 @@ def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
         from concurrent.futures import ProcessPoolExecutor
 
         from repro.bench.parallel import pool_context
-        tasks = [(name, index, seed, num_zones, f, backend)
+        tasks = [(name, index, seed, num_zones, f, backend, flight_dir)
                  for index in range(len(scenarios))]
         workers = min(jobs, len(tasks))
         with ProcessPoolExecutor(max_workers=workers,
@@ -473,5 +502,6 @@ def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
             twins[key] = _run_twin(scenario, seed, num_zones, f, backend)
         result.results.append(
             run_scenario(scenario, seed=seed, num_zones=num_zones, f=f,
-                         twin=twins[key], backend=backend))
+                         twin=twins[key], backend=backend,
+                         flight_dir=flight_dir))
     return result

@@ -26,7 +26,8 @@ from repro.errors import ConfigurationError
 
 __all__ = ["main", "build_parser"]
 
-FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig-backends")
+FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig-backends",
+           "fig-critical-path")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--sample-interval-ms", type=float, default=25.0,
                        help="queue-depth/utilization sampling cadence "
                             "(0 disables)")
+    trace.add_argument("--causal", action="store_true",
+                       help="enable causal transaction tracing (trace ids, "
+                            "txn.*/trace.link events) and print the "
+                            "critical-path report")
 
     audit = sub.add_parser(
         "audit",
@@ -134,6 +139,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default="default",
                        help="consensus backend the campaign deploys "
                             "(default: default)")
+    chaos.add_argument("--flight-dir", default=None, metavar="DIR",
+                       help="directory where failing scenarios dump their "
+                            "flight-recorder ring (flight-<name>.jsonl)")
 
     baseline = sub.add_parser(
         "bench-baseline",
@@ -161,6 +169,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="report format (default: text)")
     perf.add_argument("--out", default=None, metavar="PATH",
                       help="also write the JSON perf document here")
+    perf.add_argument("--profile", action="store_true",
+                      help="additionally self-profile the run_point bench "
+                           "shape's event loop (per-handler / per-message "
+                           "wall-time attribution)")
 
     perf_baseline = sub.add_parser(
         "perf-baseline",
@@ -180,6 +192,35 @@ def build_parser() -> argparse.ArgumentParser:
                             help="allowed slowdown factor (default 2.0; "
                                  "generous on purpose — CI hosts are noisy)")
     perf_check.add_argument("--repeat", type=int, default=3)
+
+    critical = sub.add_parser(
+        "critical-path",
+        help="reconstruct per-transaction span DAGs from a causal trace "
+             "and print the critical-path attribution report")
+    critical.add_argument("trace", metavar="TRACE",
+                          help="JSONL trace file from a causal run "
+                               "(`repro trace --causal --out ...`)")
+    critical.add_argument("--format", choices=("text", "json"),
+                          default="text",
+                          help="report format (default: text)")
+    critical.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the JSON report here")
+
+    overhead = sub.add_parser(
+        "obs-overhead",
+        help="measure the wall-time overhead of causal tracing on the "
+             "run_point bench shape and gate it against a budget")
+    overhead.add_argument("--repeat", type=int, default=3,
+                          help="interleaved samples per side; best is "
+                               "kept (default 3)")
+    overhead.add_argument("--budget", type=float, default=1.05,
+                          help="allowed causal-on/off wall-time ratio "
+                               "(default 1.05)")
+    overhead.add_argument("--format", choices=("text", "json"),
+                          default="text",
+                          help="report format (default: text)")
+    overhead.add_argument("--out", default=None, metavar="PATH",
+                          help="also write the JSON overhead document here")
     return parser
 
 
@@ -318,7 +359,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 2
         result = run_campaign(args.campaign, seed=args.seed,
                               num_zones=args.zones, f=args.f,
-                              jobs=args.jobs, backend=args.backend)
+                              jobs=args.jobs, backend=args.backend,
+                              flight_dir=args.flight_dir)
+        dumps = [r.flight_dump for r in result.results
+                 if r.flight_dump is not None]
+        for dump in dumps:
+            print(f"flight recorder dump: {dump}", file=sys.stderr)
         print(report_json(result) if args.format == "json"
               else chaos_format(result))
         if args.out:
@@ -355,8 +401,21 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         from repro.bench.perf import format_perf, perf_json, perf_report
         report = perf_report(repeat=args.repeat)
+        if args.profile:
+            from repro.bench.perf import profile_report
+            report["profile"] = profile_report()
         print(perf_json(report) if args.format == "json"
               else format_perf(report))
+        if args.profile and args.format == "text":
+            profile = report["profile"]
+            rows = sorted(
+                ({"message": key, **stats}
+                 for key, stats in profile["messages"].items()),
+                key=lambda row: (-row["wall_total_ms"], row["message"]))
+            print()
+            print(format_table(rows,
+                               title="event-loop profile by message class "
+                                     "(wall columns are host-dependent)"))
         if args.out:
             Path(args.out).write_text(perf_json(report) + "\n")
             print(f"\nperf document: {args.out}", file=sys.stderr)
@@ -390,7 +449,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
         from repro.obs.export import write_chrome_trace, write_trace_jsonl
         spec = replace(_spec(args, args.protocol), instrument=True,
-                       record_trace=True,
+                       record_trace=True, causal=args.causal,
                        sample_interval_ms=args.sample_interval_ms)
         result = run_point(spec)
         obs = result.obs
@@ -400,6 +459,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if phase_rows:
             print()
             print(format_table(phase_rows, title="protocol phase spans (ms)"))
+        if args.causal:
+            from repro.obs.causal import format_report as causal_format
+            from repro.obs.causal import report_from_obs
+            print()
+            print(causal_format(report_from_obs(obs)))
         if args.out:
             path = write_trace_jsonl(obs, args.out)
             print(f"\ntrace: {path} ({len(obs.events)} events, "
@@ -409,6 +473,45 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"chrome trace: {path} "
                   "(open at https://ui.perfetto.dev)", file=sys.stderr)
         return 0
+
+    if args.command == "critical-path":
+        from pathlib import Path
+
+        from repro.obs.causal import (format_report as causal_format,
+                                      report_clean, report_from_jsonl,
+                                      report_json)
+        trace_path = Path(args.trace)
+        if not trace_path.is_file():
+            print(f"repro critical-path: trace file not found: "
+                  f"{trace_path}", file=sys.stderr)
+            return 2
+        report = report_from_jsonl(trace_path)
+        print(report_json(report) if args.format == "json"
+              else causal_format(report))
+        if args.out:
+            Path(args.out).write_text(report_json(report) + "\n")
+            print(f"\ncritical-path report: {args.out}", file=sys.stderr)
+        # Exit 5 when any traced span could not be joined to a trace —
+        # an incomplete DAG means the causal instrumentation regressed.
+        return 0 if report_clean(report) else 5
+
+    if args.command == "obs-overhead":
+        from pathlib import Path
+
+        from repro.bench.perf import (check_overhead, format_overhead,
+                                      overhead_report)
+        import json as _json
+        document = overhead_report(repeat=args.repeat)
+        print(_json.dumps(document, indent=2, sort_keys=True)
+              if args.format == "json" else format_overhead(document))
+        if args.out:
+            Path(args.out).write_text(
+                _json.dumps(document, indent=2, sort_keys=True) + "\n")
+            print(f"\noverhead document: {args.out}", file=sys.stderr)
+        problems = check_overhead(budget=args.budget, current=document)
+        for problem in problems:
+            print(f"OVERHEAD REGRESSION: {problem}", file=sys.stderr)
+        return 1 if problems else 0
 
     if args.command == "analyze-assignment":
         analysis = analyze_assignment(zones=args.zones,

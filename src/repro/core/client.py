@@ -15,6 +15,7 @@ once the migration completes.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable
 
 from repro.core.quorums import weak_quorum
@@ -23,6 +24,7 @@ from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.messages.base import Signed, verify_signed
 from repro.messages.client import ClientReply, ClientRequest, MigrationRequest
+from repro.messages.trace import SpanContext, trace_id
 from repro.pbft.client import CompletedRequest
 from repro.sim.events import Simulator
 from repro.sim.network import Network
@@ -121,7 +123,26 @@ class MobileClient(Process):
                                    sender=self.node_id)
         self._launch(request, target_zone=self.current_zone)
 
+    @staticmethod
+    def _txn_kind(request: Any) -> str:
+        if isinstance(request, MigrationRequest):
+            return "migration"
+        if isinstance(request, ClientRequest):
+            return "local"
+        return "cross-zone"
+
     def _launch(self, request: Any, target_zone: str) -> None:
+        obs = self.obs
+        if obs is not None and obs.causal:
+            tid = trace_id(request)
+            if isinstance(request, (ClientRequest, MigrationRequest)):
+                # Stamp the span context onto the wire message. The ctx
+                # field is digest-excluded, so the signature below — and
+                # every simulated byte downstream — is unchanged.
+                request = replace(request, ctx=SpanContext(trace_id=tid))
+            obs.emit(self.sim.now, "txn.submit", node=self.node_id,
+                     trace=tid, zone=self.current_zone, target=target_zone,
+                     txn=self._txn_kind(request))
         self._outstanding = request
         self._outstanding_zone = target_zone
         self._started_at = self.sim.now
@@ -198,5 +219,11 @@ class MobileClient(Process):
                                   completed_at=self.sim.now,
                                   is_global=is_global)
         self.completed.append(record)
+        obs = self.obs
+        if obs is not None and obs.causal:
+            obs.emit(self.sim.now, "txn.reply", node=self.node_id,
+                     trace=trace_id(request),
+                     latency_ms=round(self.sim.now - self._started_at, 6),
+                     txn=self._txn_kind(request))
         if self.on_complete is not None:
             self.on_complete(record)

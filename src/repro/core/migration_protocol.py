@@ -27,6 +27,7 @@ from repro.messages.client import ClientReply, MigrationRequest
 from repro.messages.migration import StateTransfer, state_body
 from repro.messages.query import ResponseQuery
 from repro.messages.sync import Ballot
+from repro.messages.trace import trace_id
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.node import ZiziphusNode
@@ -167,6 +168,14 @@ class MigrationEngine:
                           self._span_key(ballot, request.sender),
                           node=self.node.node_id,
                           source=request.source_zone, dest=request.dest_zone)
+            if obs.causal:
+                # One link covers the whole migration leg: the
+                # migration-state / migration-copy spans and the
+                # mig-* endorse instances all embed this key.
+                obs.emit(self.node.sim.now, "trace.link",
+                         node=self.node.node_id, scope="migration",
+                         key=self._span_key(ballot, request.sender),
+                         traces=[trace_id(request)])
         key = self._key(ballot, request.sender)
         records = self._captured_records.get(key)
         if records is None:

@@ -31,6 +31,7 @@ from repro.crypto.digest import digest
 from repro.messages.base import Signed, verify_signed
 from repro.messages.client import ClientReply, MigrationRequest
 from repro.messages.query import ResponseQuery
+from repro.messages.trace import trace_id
 from repro.messages.sync import (GENESIS_BALLOT, Accept, Accepted, Ballot,
                                  CheckpointRef, GlobalCommit, Promise, Propose,
                                  accept_body, accepted_body, commit_body,
@@ -376,6 +377,13 @@ class SyncEngine:
             obs.emit(self.host.sim.now, "sync.start",
                      node=self.node.node_id, ballot=self._bkey(ballot),
                      batch=len(batch), stable=self.config.stable_leader)
+            if obs.causal:
+                # Bind the ballot (and through it every sync-phase and
+                # endorse span keyed by it) to the traced requests.
+                obs.emit(self.host.sim.now, "trace.link",
+                         node=self.node.node_id, scope="sync",
+                         key=self._bkey(ballot),
+                         traces=[trace_id(env.payload) for env in batch])
         if self.config.checkpoint_on_migration:
             self.node.replica.checkpoints.generate(
                 self.node.replica.last_executed)

@@ -15,6 +15,7 @@ from repro.messages.sync import (GENESIS_BALLOT, Accept, Accepted, Ballot,
                                  CheckpointRef, GlobalCommit, Promise, Propose,
                                  accept_body, accepted_body, commit_body,
                                  promise_body, propose_body)
+from repro.messages.trace import SpanContext, trace_id
 
 __all__ = [
     "Accept",
@@ -45,6 +46,7 @@ __all__ = [
     "Propose",
     "ResponseQuery",
     "Signed",
+    "SpanContext",
     "StateTransfer",
     "ViewChange",
     "accept_body",
@@ -57,5 +59,6 @@ __all__ = [
     "propose_body",
     "sign_message",
     "state_body",
+    "trace_id",
     "verify_signed",
 ]

@@ -2,10 +2,11 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.messages.base import Message
+from repro.messages.trace import SpanContext
 
 __all__ = ["ClientRequest", "MigrationRequest", "ClientReply"]
 
@@ -19,11 +20,18 @@ class ClientRequest(Message):
         timestamp: client-local, totally ordered per client; used for
             exactly-once execution and replay protection.
         sender: the client id (also the signer).
+        ctx: optional causal span context, stamped only when the
+            instrumentation bus runs in the ``causal`` tier. Excluded
+            from the canonical digest (``digest: False``) so signatures,
+            request digests, and therefore every simulated byte stay
+            identical whether tracing is on or off.
     """
 
     operation: tuple
     timestamp: int
     sender: str
+    ctx: SpanContext | None = field(default=None, compare=False,
+                                    metadata={"digest": False})
 
 
 @dataclass(frozen=True)
@@ -39,6 +47,8 @@ class MigrationRequest(Message):
     sender: str
     source_zone: str
     dest_zone: str
+    ctx: SpanContext | None = field(default=None, compare=False,
+                                    metadata={"digest": False})
 
 
 @dataclass(frozen=True)

@@ -33,6 +33,7 @@ from repro.messages.pbft import (CheckpointFetch, CheckpointMsg,
 from repro.messages.query import ResponseQuery
 from repro.messages.sync import (Accept, Accepted, Ballot, CheckpointRef,
                                  GlobalCommit, Promise, Propose)
+from repro.messages.trace import SpanContext
 
 __all__ = ["WIRE_MESSAGES", "CLIENT_DELIVERED", "NESTED_TYPES", "codec_types"]
 
@@ -79,6 +80,7 @@ NESTED_TYPES: dict[str, type] = {
     "Ballot": Ballot,
     "CheckpointRef": CheckpointRef,
     "PreparedProof": PreparedProof,
+    "SpanContext": SpanContext,
 }
 
 

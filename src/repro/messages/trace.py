@@ -1,0 +1,53 @@
+"""Causal span context carried by client-originated wire messages.
+
+Every client request owns a deterministic *trace id* — a pure function
+of the fields the protocol already totally orders per client
+(``sender`` and the client-local ``timestamp``), so no extra entropy or
+wall clock is involved and two same-seed runs mint identical ids.
+
+The :class:`SpanContext` rides on :class:`~repro.messages.client.
+ClientRequest` / :class:`~repro.messages.client.MigrationRequest` as a
+digest-excluded field (``metadata={"digest": False}``, the same
+mechanism ``CheckpointRef.snapshot`` uses): the canonical bytes, the
+signature, and every certificate over the request are byte-identical
+whether or not a context is attached. Because the request envelope is
+embedded verbatim in ``PrePrepare.batch``, the sync protocol's
+``Propose``/``Accept``/``GlobalCommit.requests``, and the migration
+flow, the context physically propagates through every PBFT /
+endorsement / sync / migration hop with zero per-hop work — and zero
+effect on simulated cost (a context contains no signatures, so
+``signature_units`` is unchanged).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = ["SpanContext", "trace_id"]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Compact causal context: the owning trace plus an optional parent.
+
+    ``trace_id`` names the client request's end-to-end trace;
+    ``parent`` optionally names the span that caused this message (empty
+    at the client edge). Decodable on the wire (``NESTED_TYPES``) but
+    never dispatched on.
+    """
+
+    trace_id: str
+    parent: str = ""
+
+
+def trace_id(request: Any) -> str:
+    """Deterministic trace id of a client request (or its payload).
+
+    ``sender:timestamp`` is unique per request — clients increment
+    ``timestamp`` per submission — and derivable at *every* protocol hop
+    from the embedded request alone, which is what lets the
+    critical-path analyzer join spans to traces without any id table.
+    """
+    payload = getattr(request, "payload", request)
+    return f"{payload.sender}:{payload.timestamp}"

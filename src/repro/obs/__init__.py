@@ -17,6 +17,9 @@ byte-identical trace.
 """
 
 from repro.obs.bus import Instrumentation
+from repro.obs.causal import (attribution_columns, critical_path_clean,
+                              critical_path_from_jsonl,
+                              critical_path_from_obs)
 from repro.obs.events import (PHASE_ACCEPT, PHASE_ACCEPTED, PHASE_COMMIT,
                               PHASE_CROSS_CLUSTER, PHASE_ENDORSE,
                               PHASE_GLOBAL_TXN, PHASE_MIGRATION_COPY,
@@ -24,15 +27,26 @@ from repro.obs.events import (PHASE_ACCEPT, PHASE_ACCEPTED, PHASE_COMMIT,
                               PHASE_PROMISE, PHASE_PROPOSE, Span, TraceEvent)
 from repro.obs.export import (chrome_trace, trace_jsonl, write_chrome_trace,
                               write_trace_jsonl)
+from repro.obs.flight import FlightRecorder
 from repro.obs.hist import Histogram
 from repro.obs.monitor import (MonitorConfig, MonitorTopology,
                                ProtocolMonitor, Violation)
+from repro.obs.profiler import SimProfiler
 from repro.obs.report import audit_trace, format_report
 from repro.obs.sampler import UtilizationSampler
+from repro.obs.sketch import P2Quantile, StreamingHistogram
 
 __all__ = [
     "Instrumentation",
     "Histogram",
+    "StreamingHistogram",
+    "P2Quantile",
+    "FlightRecorder",
+    "SimProfiler",
+    "attribution_columns",
+    "critical_path_clean",
+    "critical_path_from_jsonl",
+    "critical_path_from_obs",
     "UtilizationSampler",
     "MonitorConfig",
     "MonitorTopology",

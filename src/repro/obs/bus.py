@@ -31,16 +31,35 @@ class Instrumentation:
 
     def __init__(self, enabled: bool = False, recording: bool = False,
                  max_events: int = 1_000_000,
-                 metrics: bool | None = None) -> None:
-        self.recording = recording
-        self.enabled = enabled or recording
+                 metrics: bool | None = None, causal: bool = False,
+                 sketch: bool = False,
+                 flight: int | None = None) -> None:
+        #: Causal-tracing tier: clients mint trace ids and emit
+        #: ``txn.*`` events, consensus layers emit ``trace.link`` events
+        #: (see :mod:`repro.obs.causal`). Implies ``recording`` — the
+        #: links are ordinary trace events. Off by default so untraced
+        #: runs stay byte-identical.
+        self.causal = causal
+        self.recording = recording or causal
+        self.enabled = enabled or self.recording
         #: Histogram/span tier. Defaults to ``enabled``; the conformance
         #: monitor's always-on cheap tier passes ``metrics=False`` so
         #: emission sites stay live while per-phase aggregation (the
         #: expensive part at every message hop) stays off.
         self.metrics = self.enabled if metrics is None else \
-            (metrics or recording)
+            (metrics or self.recording)
         self.max_events = max_events
+        #: Memory-bounded telemetry: when ``sketch`` is set, named
+        #: histograms use the fixed-memory P² streaming form instead of
+        #: the byte-stable bucket grid (same API; see repro.obs.sketch).
+        self.sketch = sketch
+        #: Optional always-on flight recorder — a bounded ring of the
+        #: last ``flight`` events fed from :meth:`emit` regardless of
+        #: ``recording``; dumped post-mortem (see repro.obs.flight).
+        self.flight = None
+        if flight is not None:
+            from repro.obs.flight import FlightRecorder
+            self.flight = FlightRecorder(flight)
         #: Scalar counters (always live), e.g. ``net.sent``.
         self.counters: Counter = Counter()
         #: Grouped per-type counters, e.g. ``type_counters["net.msg"]``.
@@ -87,7 +106,11 @@ class Instrumentation:
             return
         hist = self.histograms.get(name)
         if hist is None:
-            hist = self.histograms[name] = Histogram()
+            if self.sketch:
+                from repro.obs.sketch import StreamingHistogram
+                hist = self.histograms[name] = StreamingHistogram()
+            else:
+                hist = self.histograms[name] = Histogram()
         hist.record(value)
 
     def histogram(self, name: str) -> Histogram | None:
@@ -148,6 +171,8 @@ class Instrumentation:
                                               fields=fields))
             else:
                 self.dropped_events += 1
+        if self.flight is not None:
+            self.flight.record(ts, kind, node, fields)
         if self.monitor is not None and not kind.startswith("monitor."):
             self.monitor.on_event(ts, kind, node, fields)
 

@@ -100,6 +100,10 @@ EVENT_KINDS: dict[str, str] = {
     "cross.propose_sent": "CROSS-PROPOSE sent by destination proxies",
     "cross.commit_sent": "CROSS-COMMIT sent to the source cluster",
     "cross.prepared_sent": "PREPARED sent by source proxies",
+    # Causal transaction tracing (repro.obs.causal; ``causal`` tier).
+    "txn.submit": "client launched a traced request (trace id minted)",
+    "txn.reply": "client completed a traced request (f+1 matching replies)",
+    "trace.link": "consensus instance bound to the trace ids it carries",
     # Adversarial-campaign engine (repro.chaos).
     "chaos.scenario": "chaos scenario started (name, budget, expectation)",
     "chaos.action": "chaos fault or heal action applied to the deployment",

@@ -47,9 +47,20 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, fraction: float) -> float:
-        """Approximate percentile via in-bucket linear interpolation."""
+        """Approximate percentile via in-bucket linear interpolation.
+
+        Edge cases are exact, not approximate: an empty histogram
+        answers 0, a single sample answers itself, and all-duplicate
+        inputs answer the duplicated value. The fast paths below return
+        exactly what the bucket walk's min/max clamping used to produce
+        for these inputs (pinned by tests), so existing snapshots stay
+        byte-identical — they just make the guarantee explicit instead
+        of an accident of clamping.
+        """
         if self.count == 0:
             return 0.0
+        if self.count == 1 or self.min == self.max:
+            return self.min
         rank = fraction * (self.count - 1)
         seen = 0
         for index, bucket_count in enumerate(self._buckets):

@@ -1,0 +1,115 @@
+"""Deterministic self-profiling of the simulator event loop.
+
+``repro perf`` answers "how fast is the harness end to end"; the
+profiler answers "where does that time go". When attached to a
+:class:`repro.sim.events.Simulator` (``sim.profiler = SimProfiler()``),
+the event loop routes every handler invocation through :meth:`call`,
+which records two kinds of data per handler and per message class:
+
+- **deterministic** — invocation counts and first/last *virtual*
+  timestamps, pure functions of the seeded event sequence, so they are
+  identical across hosts and runs and safe to assert on in tests;
+- **wall-clock** — per-call wall time folded into a fixed-memory
+  :class:`repro.obs.sketch.StreamingHistogram`, host-dependent by
+  nature and reported separately so nobody mistakes it for part of the
+  byte-identity contract.
+
+The profiler lives in ``repro.obs`` deliberately: the determinism lint
+bans wall clocks inside the simulation scope (``repro.sim`` and
+friends), and the hook there is a bare attribute check with no timing
+import. Message classes are attributed by peeking at the envelope
+argument of ``Process._dispatch`` calls; all other handlers are keyed
+by their function's qualified name.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+from repro.obs.sketch import StreamingHistogram
+
+__all__ = ["SimProfiler"]
+
+
+class _Stat:
+    """Per-key accumulator: deterministic counts plus wall sketch."""
+
+    __slots__ = ("count", "vt_first", "vt_last", "wall")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.vt_first = 0.0
+        self.vt_last = 0.0
+        self.wall = StreamingHistogram()
+
+    def add(self, ts: float, wall_ms: float) -> None:
+        if self.count == 0:
+            self.vt_first = ts
+        self.count += 1
+        self.vt_last = ts
+        self.wall.record(wall_ms)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "vt_first_ms": round(self.vt_first, 6),
+            "vt_last_ms": round(self.vt_last, 6),
+            "wall_total_ms": round(self.wall.total, 3),
+            "wall_mean_ms": round(self.wall.mean, 6),
+            "wall_p95_ms": round(self.wall.percentile(0.95), 6),
+        }
+
+
+class SimProfiler:
+    """Streaming per-handler / per-message profile of one simulation."""
+
+    __slots__ = ("handlers", "messages", "calls", "_clock")
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        #: Stats keyed by handler qualname (e.g. ``Process._dispatch``).
+        self.handlers: dict[str, _Stat] = {}
+        #: Stats keyed by delivered message class (``_dispatch`` only).
+        self.messages: dict[str, _Stat] = {}
+        self.calls = 0
+        self._clock = time.perf_counter if clock is None else clock
+
+    def call(self, fn: Callable[..., Any], args: tuple, ts: float) -> None:
+        """Invoke one scheduled handler, attributing its cost."""
+        started = self._clock()
+        fn(*args)
+        wall_ms = (self._clock() - started) * 1000.0
+        self.calls += 1
+        key = getattr(fn, "__qualname__", repr(fn))
+        stat = self.handlers.get(key)
+        if stat is None:
+            stat = self.handlers[key] = _Stat()
+        stat.add(ts, wall_ms)
+        if getattr(fn, "__name__", "") == "_dispatch" and len(args) >= 2:
+            payload = getattr(args[1], "payload", args[1])
+            msg_key = type(payload).__name__
+            msg_stat = self.messages.get(msg_key)
+            if msg_stat is None:
+                msg_stat = self.messages[msg_key] = _Stat()
+            msg_stat.add(ts, wall_ms)
+
+    def report(self) -> dict[str, Any]:
+        """Structured profile; deterministic fields are flagged as such."""
+        return {
+            "format": "repro-sim-profile",
+            "version": 1,
+            "calls": self.calls,
+            "deterministic_fields": ["count", "vt_first_ms", "vt_last_ms"],
+            "handlers": {key: stat.as_dict()
+                         for key, stat in sorted(self.handlers.items())},
+            "messages": {key: stat.as_dict()
+                         for key, stat in sorted(self.messages.items())},
+        }
+
+    def rows(self, group: str = "handlers") -> list[dict[str, Any]]:
+        """Table rows for one stat group, heaviest wall time first."""
+        stats = self.handlers if group == "handlers" else self.messages
+        rows = [{group[:-1]: key, **stat.as_dict()}
+                for key, stat in stats.items()]
+        rows.sort(key=lambda row: (-row["wall_total_ms"], row[group[:-1]]))
+        return rows

@@ -1,0 +1,177 @@
+"""Fixed-memory streaming quantile sketches (P² algorithm).
+
+The default :class:`~repro.obs.hist.Histogram` is already fixed-size
+(26 geometric buckets), but its quantiles are only as fine as the
+bucket grid. The :class:`P2Quantile` sketch (Jain & Chlamtac's P²
+algorithm, CACM 1985) tracks one quantile with exactly five markers —
+constant memory, no allocation after construction, and a deterministic
+result for a fixed input sequence, which keeps same-seed reports
+byte-identical.
+
+:class:`StreamingHistogram` bundles three sketches (p50/p95/p99) behind
+the same API surface as ``Histogram`` (``record`` / ``percentile`` /
+``snapshot``), so the instrumentation bus can swap it in for
+million-client runs (``Instrumentation(sketch=True)``) without touching
+a single call site. Error bounds are empirical, not worst-case: on
+smooth distributions P² stays within a few percent of the exact
+quantile (pinned by tests); pathological adversarial sequences can do
+worse, which is why the byte-stable default histogram remains the
+reporting path.
+"""
+
+from __future__ import annotations
+
+__all__ = ["P2Quantile", "StreamingHistogram"]
+
+
+class P2Quantile:
+    """One streaming quantile estimate in O(1) memory (P² algorithm)."""
+
+    __slots__ = ("p", "count", "_heights", "_positions", "_desired",
+                 "_increments")
+
+    def __init__(self, p: float) -> None:
+        if not 0.0 < p < 1.0:
+            raise ValueError(f"quantile fraction must be in (0, 1): {p}")
+        self.p = p
+        self.count = 0
+        #: First five observations, sorted; then the five marker heights.
+        self._heights: list[float] = []
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p,
+                         3.0 + 2.0 * p, 5.0]
+        self._increments = (0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0)
+
+    def record(self, value: float) -> None:
+        """Fold one observation into the sketch."""
+        self.count += 1
+        heights = self._heights
+        if self.count <= 5:
+            heights.append(value)
+            heights.sort()
+            return
+        positions = self._positions
+        # Locate the cell and update the extreme markers.
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while cell < 3 and value >= heights[cell + 1]:
+                cell += 1
+        for index in range(cell + 1, 5):
+            positions[index] += 1.0
+        desired = self._desired
+        for index, increment in enumerate(self._increments):
+            desired[index] += increment
+        # Adjust the three interior markers (parabolic, else linear).
+        for index in range(1, 4):
+            drift = desired[index] - positions[index]
+            right = positions[index + 1] - positions[index]
+            left = positions[index - 1] - positions[index]
+            if (drift >= 1.0 and right > 1.0) or (drift <= -1.0 and left < -1.0):
+                step = 1.0 if drift >= 1.0 else -1.0
+                candidate = self._parabolic(index, step)
+                if heights[index - 1] < candidate < heights[index + 1]:
+                    heights[index] = candidate
+                else:
+                    heights[index] = self._linear(index, step)
+                positions[index] += step
+
+    def _parabolic(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        return heights[index] + step / (positions[index + 1]
+                                        - positions[index - 1]) * (
+            (positions[index] - positions[index - 1] + step)
+            * (heights[index + 1] - heights[index])
+            / (positions[index + 1] - positions[index])
+            + (positions[index + 1] - positions[index] - step)
+            * (heights[index] - heights[index - 1])
+            / (positions[index] - positions[index - 1]))
+
+    def _linear(self, index: int, step: float) -> float:
+        heights = self._heights
+        positions = self._positions
+        other = index + int(step)
+        return heights[index] + step * (heights[other] - heights[index]) \
+            / (positions[other] - positions[index])
+
+    def value(self) -> float:
+        """Current quantile estimate (exact while count <= 5)."""
+        heights = self._heights
+        if not heights:
+            return 0.0
+        if self.count <= 5:
+            # Exact linear-interp percentile over the sorted buffer.
+            rank = self.p * (len(heights) - 1)
+            lower = int(rank)
+            upper = min(lower + 1, len(heights) - 1)
+            weight = rank - lower
+            return heights[lower] * (1.0 - weight) + heights[upper] * weight
+        return heights[2]
+
+
+class StreamingHistogram:
+    """Histogram-API-compatible summary backed by three P² sketches.
+
+    Drop-in for :class:`~repro.obs.hist.Histogram` where continuous
+    quantiles matter more than byte-stable bucket grids: ``record``,
+    ``count`` / ``total`` / ``min`` / ``max`` / ``mean``,
+    ``percentile``, and ``snapshot`` all match. Memory is constant —
+    fifteen markers — regardless of how many values stream through.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "_sketches")
+
+    #: The quantiles tracked (the ones every report column reads).
+    QUANTILES = (0.50, 0.95, 0.99)
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = 0.0
+        self.max = 0.0
+        self._sketches = tuple(P2Quantile(p) for p in self.QUANTILES)
+
+    def record(self, value: float) -> None:
+        """Add one observation (negative values clamp to zero)."""
+        if value < 0.0:
+            value = 0.0
+        if self.count == 0 or value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self.count += 1
+        self.total += value
+        for sketch in self._sketches:
+            sketch.record(value)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> float:
+        """Estimate via the nearest tracked sketch, clamped to min/max."""
+        if self.count == 0:
+            return 0.0
+        if self.count == 1 or self.min == self.max:
+            return self.min
+        best = min(self._sketches, key=lambda s: abs(s.p - fraction))
+        return max(self.min, min(self.max, best.value()))
+
+    def snapshot(self) -> dict[str, float]:
+        """Summary dict, same keys as ``Histogram.snapshot``."""
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "p50": round(self.percentile(0.50), 6),
+            "p95": round(self.percentile(0.95), 6),
+            "p99": round(self.percentile(0.99), 6),
+        }

@@ -20,6 +20,7 @@ from repro.errors import ConfigurationError
 from repro.messages.base import Signed, verify_signed
 from repro.messages.client import ClientReply, ClientRequest
 from repro.messages.pbft import Commit, Prepare, PrePrepare
+from repro.messages.trace import trace_id
 from repro.pbft.checkpointing import CheckpointManager
 from repro.pbft.host import HostNode
 from repro.quorums import group_size, intra_zone_quorum
@@ -193,6 +194,17 @@ class PBFTReplica:
     def _span_key(view: int, sequence: int) -> str:
         return f"v{view}.s{sequence}"
 
+    def _causal_tag(self) -> str:
+        """Group-unique qualifier for causal links and span fields.
+
+        The ``v{view}.s{sequence}`` span key recurs in every PBFT group
+        (one per zone, plus e.g. the two-level global group), so causal
+        links qualify it with the group's lexicographically first
+        member — a value every replica of the group derives
+        identically, with no wire traffic.
+        """
+        return min((self.host.node_id, *self.others))
+
     # ------------------------------------------------------------------
     # Client requests and batching
     # ------------------------------------------------------------------
@@ -294,10 +306,22 @@ class PBFTReplica:
             self._digest_sequence[digest(env.payload)] = sequence
         obs = self._obs()
         if obs is not None:
+            # The ``grp`` span field only exists on causal runs, so
+            # causal-off traces stay byte-identical to older exports.
+            extra = {"grp": self._causal_tag()} if obs.causal else {}
             obs.span_open(self.host.sim.now, "pbft",
                           self._span_key(self.view, sequence),
                           node=self.host.node_id, batch=len(batch),
-                          role="primary")
+                          role="primary", **extra)
+            if obs.causal:
+                # Bind this consensus instance to the trace ids of the
+                # requests it orders; repro.obs.causal joins the pbft
+                # spans (every replica, same key and group) through it.
+                obs.emit(self.host.sim.now, "trace.link",
+                         node=self.host.node_id, scope="pbft",
+                         key=f"{extra['grp']}/"
+                             f"{self._span_key(self.view, sequence)}",
+                         traces=[trace_id(env.payload) for env in batch])
         self.host.multicast_signed(self.others, pre_prepare)
         self._check_prepared(slot)
 
@@ -355,10 +379,11 @@ class PBFTReplica:
         slot.batch = pp.batch
         obs = self._obs()
         if obs is not None:
+            extra = {"grp": self._causal_tag()} if obs.causal else {}
             obs.span_open(self.host.sim.now, "pbft",
                           self._span_key(pp.view, pp.sequence),
                           node=self.host.node_id, batch=len(pp.batch),
-                          role="backup")
+                          role="backup", **extra)
         for req_env in pp.batch:
             req_digest = digest(req_env.payload)
             self.pending.pop(req_digest, None)

@@ -86,6 +86,12 @@ class Simulator:
         self._cancelled = 0
         #: Optional instrumentation bus (set by Instrumentation.attach).
         self.obs = None
+        #: Optional self-profiler (repro.obs.profiler.SimProfiler). When
+        #: set, handler invocations route through ``profiler.call`` so
+        #: wall time can be attributed per handler; the profiler lives
+        #: outside the sim scope because this module must stay free of
+        #: wall clocks.
+        self.profiler = None
 
     @property
     def now(self) -> float:
@@ -156,7 +162,10 @@ class Simulator:
             self._events_processed += 1
             if self.obs is not None:
                 self.obs.count("sim.events")
-            event.fn(*event.args)
+            if self.profiler is None:
+                event.fn(*event.args)
+            else:
+                self.profiler.call(event.fn, event.args, time)
             return True
         return False
 
@@ -179,6 +188,7 @@ class Simulator:
         executed = 0
         heap = self._heap
         pop = heapq.heappop
+        profiler = self.profiler
         try:
             while heap:
                 if max_events is not None and executed >= max_events:
@@ -196,7 +206,10 @@ class Simulator:
                 pop(heap)
                 event.fired = True
                 self._now = time
-                event.fn(*event.args)
+                if profiler is None:
+                    event.fn(*event.args)
+                else:
+                    profiler.call(event.fn, event.args, time)
                 executed += 1
         finally:
             self._events_processed += executed

@@ -152,6 +152,63 @@ def test_cli_parses_perf_and_jobs_flags():
     assert args.ratio == 3.0
 
 
+def test_cli_parses_observability_flags():
+    parser = build_parser()
+    args = parser.parse_args(["trace", "--causal"])
+    assert args.causal is True
+    args = parser.parse_args(["chaos", "--flight-dir", "dumps"])
+    assert args.flight_dir == "dumps"
+    args = parser.parse_args(["perf", "--profile"])
+    assert args.profile is True
+    args = parser.parse_args(["critical-path", "causal.jsonl",
+                              "--format", "json"])
+    assert (args.trace, args.format) == ("causal.jsonl", "json")
+    args = parser.parse_args(["obs-overhead", "--repeat", "2",
+                              "--budget", "1.1"])
+    assert (args.repeat, args.budget) == (2, 1.1)
+
+
+def test_check_overhead_gates_on_injected_document():
+    from repro.bench.perf import check_overhead, format_overhead
+    within = {"format": "repro-obs-overhead", "version": 1, "repeat": 2,
+              "base_ms": 100.0, "causal_ms": 103.0, "ratio": 1.03}
+    assert check_overhead(budget=1.05, current=within) == []
+    over = dict(within, causal_ms=120.0, ratio=1.2)
+    problems = check_overhead(budget=1.05, current=over)
+    assert len(problems) == 1
+    assert "1.2" in problems[0]
+    assert "1.0300x" in format_overhead(within)
+
+
+# ----------------------------------------------------------------------
+# Causal grids (fig-critical-path)
+# ----------------------------------------------------------------------
+
+_TINY_CAUSAL = [PointSpec(protocol="ziziphus", num_zones=3,
+                          clients_per_zone=4, global_fraction=fraction,
+                          warmup_ms=80.0, measure_ms=160.0, seed=3,
+                          causal=True, record_trace=True, instrument=True,
+                          sample_interval_ms=0.0)
+                for fraction in (0.1, 0.5)]
+
+
+def test_causal_grid_attr_columns_are_jobs_independent():
+    serial = run_grid(_TINY_CAUSAL, jobs=1)
+    fanned = run_grid(_TINY_CAUSAL, jobs=2)
+    assert json.dumps(serial, sort_keys=True) \
+        == json.dumps(fanned, sort_keys=True)
+    assert all(row["attr.total_ms"] > 0 for row in serial)
+
+
+def test_fig_critical_path_grid_is_registered_and_causal():
+    from repro.bench.experiments import (FIGURE_SPECS,
+                                         fig_critical_path_specs)
+    assert "fig-critical-path" in FIGURE_SPECS
+    specs = fig_critical_path_specs()
+    assert specs and all(s.causal and s.record_trace for s in specs)
+    assert {s.backend for s in specs} == {"default", "rotating"}
+
+
 def test_cli_bench_json_is_jobs_independent():
     from repro.cli import _bench_rows_json
     rows = [{"protocol": "ziziphus", "tput": 1.0}]
