@@ -1,16 +1,22 @@
 """Determinism & protocol-safety static analysis (``repro lint``).
 
-Runs five AST-based rules over the codebase — ``determinism``,
+Runs six AST-based rules over the codebase — ``determinism``,
 ``unordered-iter``, ``quorum-arith``, ``event-registry``,
-``message-totality`` — and reports violations in text or JSON. A finding
-can be acknowledged with a same-line ``# lint: allow[rule-id]`` comment;
-suppressions are counted in the report, never silent.
+``message-totality``, ``exception-swallow`` — and reports violations in
+text or JSON. A finding can be acknowledged with a same-line
+``# lint: allow[rule-id] <justification>`` comment; suppressions are
+counted per rule in the report, never silent, and a suppression naming
+a rule id that exists in neither the lint nor the taint rule set is
+itself a finding (``unknown-suppression``).
 """
 
 from repro.analysis.lint.engine import (FileRule, Finding, LintEngine,
                                         LintError, LintResult, ProjectRule,
-                                        Rule, SourceFile, load_source_file)
+                                        Rule, SourceFile,
+                                        UNKNOWN_SUPPRESSION_ID,
+                                        load_source_file)
 from repro.analysis.lint.rules import (DeterminismRule, EventRegistryRule,
+                                       ExceptionSwallowRule,
                                        MessageTotalityRule,
                                        QuorumArithmeticRule,
                                        UnorderedIterationRule, default_rules)
@@ -18,6 +24,7 @@ from repro.analysis.lint.rules import (DeterminismRule, EventRegistryRule,
 __all__ = [
     "DeterminismRule",
     "EventRegistryRule",
+    "ExceptionSwallowRule",
     "FileRule",
     "Finding",
     "LintEngine",
@@ -28,14 +35,33 @@ __all__ = [
     "QuorumArithmeticRule",
     "Rule",
     "SourceFile",
+    "UNKNOWN_SUPPRESSION_ID",
     "UnorderedIterationRule",
     "default_rules",
+    "known_rule_ids",
     "load_source_file",
     "run_lint",
 ]
 
 
+def known_rule_ids() -> frozenset[str]:
+    """Every rule id a suppression may legitimately name.
+
+    The union of the lint and taint rule sets: a file may carry taint
+    suppressions even when only the lint rules run over it (and vice
+    versa), so neither runner may flag the other's ids as unknown.
+    """
+    from repro.analysis.taint.rules import taint_rule_ids
+    ids = {rule.id for rule in default_rules()}
+    ids |= taint_rule_ids()
+    ids.add(UNKNOWN_SUPPRESSION_ID)
+    return frozenset(ids)
+
+
 def run_lint(paths, rules=None) -> LintResult:
     """Lint ``paths`` with the default (or given) rule set."""
-    engine = LintEngine(rules if rules is not None else default_rules())
+    if rules is None:
+        engine = LintEngine(default_rules(), known_ids=known_rule_ids())
+    else:
+        engine = LintEngine(rules)
     return engine.run(paths)

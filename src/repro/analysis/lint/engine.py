@@ -17,8 +17,10 @@ from __future__ import annotations
 
 import ast
 import dataclasses
+import io
 import json
 import re
+import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -32,11 +34,16 @@ __all__ = [
     "LintError",
     "LintResult",
     "LintEngine",
+    "UNKNOWN_SUPPRESSION_ID",
 ]
 
-#: Same-line suppression: ``expr  # lint: allow[rule-id]`` (several ids may
-#: be comma-separated). Suppressions are counted and reported, never silent.
-_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_\s,-]+)\]")
+#: Same-line suppression: ``expr  # lint: allow[<rule-id>] justification``
+#: (several ids may be comma-separated; the trailing text is the required
+#: justification). Suppressions are counted and reported, never silent.
+_SUPPRESS_RE = re.compile(r"#\s*lint:\s*allow\[([a-z0-9_\s,-]+)\]\s*(.*)$")
+
+#: Synthetic rule id for suppressions naming a rule that does not exist.
+UNKNOWN_SUPPRESSION_ID = "unknown-suppression"
 
 
 class LintError(Exception):
@@ -70,6 +77,8 @@ class SourceFile:
     tree: ast.Module
     #: line number -> rule ids allowed on that line
     allowed: dict[int, frozenset[str]]
+    #: line number -> justification text after the ``allow[...]`` marker
+    justifications: dict[int, str] = field(default_factory=dict)
 
     @property
     def parts(self) -> frozenset[str]:
@@ -85,17 +94,28 @@ def load_source_file(path: Path) -> SourceFile:
     except SyntaxError as exc:
         raise LintError(f"cannot parse {path}: {exc}") from exc
     allowed: dict[int, frozenset[str]] = {}
-    for lineno, line in enumerate(text.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
+    justifications: dict[int, str] = {}
+    # Scan real COMMENT tokens only, so docstrings *describing* the
+    # suppression syntax are not treated as suppressions.
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(text).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        tokens = []
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _SUPPRESS_RE.search(token.string)
         if match:
+            lineno = token.start[0]
             allowed[lineno] = frozenset(
                 part.strip() for part in match.group(1).split(","))
+            justifications[lineno] = match.group(2).strip(" -—:\t")
     try:
         display = path.resolve().relative_to(Path.cwd()).as_posix()
     except ValueError:
         display = path.as_posix()
     return SourceFile(path=path, display=display, text=text, tree=tree,
-                      allowed=allowed)
+                      allowed=allowed, justifications=justifications)
 
 
 class Rule:
@@ -135,6 +155,10 @@ class LintResult:
     files: int
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
+    #: Suppressed findings whose ``allow[...]`` marker carries no
+    #: justification text. The gate CLIs treat these as problems.
+    unjustified: list[Finding] = field(default_factory=list)
+    format: str = "repro-lint"
 
     @property
     def exit_code(self) -> int:
@@ -148,24 +172,39 @@ class LintResult:
             counts[finding.rule] = counts.get(finding.rule, 0) + 1
         return dict(sorted(counts.items()))
 
+    def suppressed_counts(self) -> dict[str, int]:
+        """Suppressed finding count per rule id."""
+        counts: dict[str, int] = {}
+        for finding in self.suppressed:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
     def to_json(self) -> str:
         """Machine-readable report (stable key order)."""
         payload = {
-            "format": "repro-lint",
-            "version": 1,
+            "format": self.format,
+            "version": 2,
             "files": self.files,
             "counts": self.counts(),
+            "suppressed_counts": self.suppressed_counts(),
             "findings": [dataclasses.asdict(f) for f in self.findings],
             "suppressed": [dataclasses.asdict(f) for f in self.suppressed],
+            "unjustified": [dataclasses.asdict(f)
+                            for f in self.unjustified],
         }
         return json.dumps(payload, indent=2, sort_keys=True)
 
     def to_text(self) -> str:
         """Human-readable report."""
         lines = [finding.render() for finding in self.findings]
+        for finding in self.unjustified:
+            lines.append(f"{finding.path}:{finding.line}: warning "
+                         f"[{finding.rule}] suppression carries no "
+                         "justification text")
         problems = len(self.findings)
         tail = (f"{problems} problem{'s' if problems != 1 else ''} "
-                f"({len(self.suppressed)} suppressed) "
+                f"({len(self.suppressed)} suppressed, "
+                f"{len(self.unjustified)} unjustified) "
                 f"in {self.files} file{'s' if self.files != 1 else ''}")
         if not problems:
             tail = "clean: " + tail
@@ -176,8 +215,12 @@ class LintResult:
 class LintEngine:
     """Runs a set of rules over a set of paths."""
 
-    def __init__(self, rules: Iterable[Rule]) -> None:
+    def __init__(self, rules: Iterable[Rule],
+                 known_ids: Iterable[str] | None = None) -> None:
         self.rules = list(rules)
+        if known_ids is None:
+            known_ids = [rule.id for rule in self.rules]
+        self.known_ids = frozenset(known_ids) | {UNKNOWN_SUPPRESSION_ID}
 
     # ------------------------------------------------------------------
     # Collection
@@ -210,6 +253,14 @@ class LintEngine:
                     raw.extend(rule.check_file(src))
             elif isinstance(rule, ProjectRule):
                 raw.extend(rule.check_project(sources))
+        for src in sources:
+            for lineno in sorted(src.allowed):
+                for unknown in sorted(src.allowed[lineno] - self.known_ids):
+                    raw.append(Finding(
+                        rule=UNKNOWN_SUPPRESSION_ID, severity="error",
+                        path=src.display, line=lineno, col=0,
+                        message=(f"suppression names unknown rule id "
+                                 f"{unknown!r}")))
         result = LintResult(files=len(sources))
         for finding in sorted(raw, key=lambda f: (f.path, f.line, f.rule,
                                                   f.col, f.message)):
@@ -218,6 +269,9 @@ class LintEngine:
                 frozenset()
             if finding.rule in allowed:
                 result.suppressed.append(finding)
+                if src is not None and \
+                        not src.justifications.get(finding.line, ""):
+                    result.unjustified.append(finding)
             else:
                 result.findings.append(finding)
         return result

@@ -1,4 +1,4 @@
-"""The five repro lint rules.
+"""The repro lint rules.
 
 Each rule enforces one reproducibility or protocol-safety contract of this
 codebase; see DESIGN.md ("Determinism contract") for the rationale.
@@ -19,6 +19,8 @@ codebase; see DESIGN.md ("Determinism contract") for the rationale.
 - ``message-totality`` — every ``Message`` subclass is listed in
   ``WIRE_MESSAGES`` and has a registered handler (or is delivered
   directly to clients); the registry carries no stale names.
+- ``exception-swallow`` — no bare/broad ``except ...: pass`` in
+  protocol packages; silent fault masking defeats the chaos oracle.
 """
 
 from __future__ import annotations
@@ -35,6 +37,7 @@ __all__ = [
     "QuorumArithmeticRule",
     "EventRegistryRule",
     "MessageTotalityRule",
+    "ExceptionSwallowRule",
     "default_rules",
 ]
 
@@ -469,6 +472,56 @@ class MessageTotalityRule(ProjectRule):
                     "subclass exists")
 
 
+# ----------------------------------------------------------------------
+# exception-swallow
+# ----------------------------------------------------------------------
+class ExceptionSwallowRule(FileRule):
+    """No bare/broad ``except ...: pass`` in protocol packages.
+
+    A swallowed exception silently masks a fault, which defeats the
+    chaos oracle: a Byzantine scenario that should surface as a safety
+    or liveness divergence instead disappears into a ``pass``. Narrow
+    handlers (``except KeyError: pass``) remain allowed — they encode a
+    deliberate absence case, not a catch-all.
+    """
+
+    id = "exception-swallow"
+    severity = "error"
+    description = ("bare or broad except clause whose body only passes, "
+                   "silently masking faults in protocol code")
+
+    _SCOPE = frozenset({"sim", "pbft", "core", "consensus", "crypto"})
+    _BROAD = frozenset({"Exception", "BaseException"})
+
+    def _is_broad(self, handler: ast.ExceptHandler) -> bool:
+        if handler.type is None:
+            return True
+        types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+            else [handler.type]
+        for node in types:
+            name = _base_name(node)
+            if name in self._BROAD:
+                return True
+        return False
+
+    def check_file(self, src: SourceFile) -> Iterator[Finding]:
+        if not (src.parts & self._SCOPE):
+            return
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not all(isinstance(stmt, ast.Pass) for stmt in node.body):
+                continue
+            if self._is_broad(node):
+                clause = "bare except" if node.type is None else \
+                    "broad except"
+                yield self.finding(
+                    src, node,
+                    f"{clause} clause swallows the failure with `pass`; "
+                    "handle the expected exception type or let the fault "
+                    "surface")
+
+
 def _assignments(node: ast.AST):
     """Yield (target, value) pairs for Assign/AnnAssign nodes."""
     if isinstance(node, ast.Assign):
@@ -494,4 +547,5 @@ def default_rules() -> list:
         QuorumArithmeticRule(),
         EventRegistryRule(),
         MessageTotalityRule(),
+        ExceptionSwallowRule(),
     ]

@@ -1,0 +1,54 @@
+"""Verify-before-trust taint analysis (``repro taint``).
+
+Ziziphus's safety argument is that no unverified Byzantine input ever
+influences replicated state: every wire message a replica acts on must
+first pass signature, digest, or quorum-certificate checks. This
+package makes that discipline a checkable static contract: it extracts
+the handler graph rooted at every ``register_handler`` site, taints the
+payload of each incoming message, and flags flows into state/storage/
+sign/send sinks that are not dominated by a sanitizer. See DESIGN.md
+§13 for the trust model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.analysis.lint.engine import LintEngine, LintResult
+from repro.analysis.taint.engine import (CorpusAnalysis, analyze_corpus)
+from repro.analysis.taint.graph import (HandlerInfo, extract_handlers,
+                                        render_dot)
+from repro.analysis.taint.rules import (TaintCoverageRule, TaintFlowRule,
+                                        taint_rule_ids, taint_rules)
+
+__all__ = [
+    "CorpusAnalysis",
+    "HandlerInfo",
+    "TaintCoverageRule",
+    "TaintFlowRule",
+    "analyze_corpus",
+    "extract_handlers",
+    "handler_graph_dot",
+    "render_dot",
+    "run_taint",
+    "taint_rule_ids",
+    "taint_rules",
+]
+
+
+def run_taint(paths: Sequence[str], rules=None) -> LintResult:
+    """Run the taint rule set over ``paths`` via the lint engine."""
+    from repro.analysis.lint import known_rule_ids
+    engine = LintEngine(rules if rules is not None else taint_rules(),
+                        known_ids=known_rule_ids())
+    result = engine.run(paths)
+    result.format = "repro-taint"
+    return result
+
+
+def handler_graph_dot(paths: Sequence[str]) -> str:
+    """Extract and render the handler-flow graph for ``paths``."""
+    from repro.analysis.lint.engine import load_source_file
+    sources = [load_source_file(p) for p in LintEngine.collect(paths)]
+    analysis = analyze_corpus(sources)
+    return render_dot(analysis.handlers, analysis.call_edges)

@@ -1,0 +1,532 @@
+"""Interprocedural verify-before-trust taint interpreter.
+
+For every handler root (see :mod:`repro.analysis.taint.graph`) the
+engine walks the function body statement by statement, tracking for each
+local name the set of *entry roots* (tainted parameters) its value was
+derived from. A sink reached while any of those roots is still
+unverified produces a finding; recognized sanitizer guards (see
+:mod:`repro.analysis.taint.model`) *declassify* roots for the remainder
+of the function (early-exit guards) or for the guarded block (positive
+guards).
+
+Precision notes (documented in DESIGN.md §13):
+
+- Declassification is **root-granular**: verifying any projection of a
+  message certifies the whole message object. Certificates that cover
+  only part of a message (e.g. a commit certificate that does not bind
+  piggybacked checkpoint refs) must therefore be backed by callee-side
+  checks — the analysis cannot see which fields a body digest binds.
+- Declassification is monotone within one function: a guard that
+  early-exits (return/raise/continue/break) certifies the rest of the
+  body, a non-exiting guard certifies only its block.
+- Subscript **keys** derived from tainted values count as state writes
+  too: attacker-chosen keys grow protocol maps without bound unless a
+  watermark/window guard dominates them.
+
+Interprocedural calls are resolved for ``self._method(...)`` within the
+same class and bare-name calls within the same module, memoized on the
+(function, tainted-params, sealed-params) triple with a recursion guard
+and a depth cap.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.analysis.lint.engine import Finding, SourceFile
+from repro.analysis.taint.graph import (CorpusIndex, HandlerInfo,
+                                        build_index, extract_handlers)
+from repro.analysis.taint.model import (MUTATOR_METHODS, SEND_SINKS,
+                                        SIGN_SINKS, SIGNED_CONSTRUCTOR,
+                                        STORAGE_SINKS, call_name,
+                                        is_sanitizer_name, mentions_digest,
+                                        mentions_quorum, mentions_watermark)
+
+__all__ = ["CorpusAnalysis", "analyze_corpus"]
+
+TAINT_FLOW_ID = "taint-flow"
+
+#: Interprocedural recursion depth cap.
+_MAX_DEPTH = 6
+
+
+@dataclass
+class CorpusAnalysis:
+    """Everything the analysis learned about one corpus."""
+
+    handlers: list[HandlerInfo]
+    findings: list[Finding] = field(default_factory=list)
+    call_edges: list[tuple[str, str]] = field(default_factory=list)
+
+
+@dataclass
+class _Summary:
+    """Memoized result of analyzing one function under one taint set."""
+
+    returns_tainted: bool = False
+
+
+def _render(node: ast.AST, limit: int = 48) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our input
+        text = "<expr>"
+    return text if len(text) <= limit else text[:limit - 3] + "..."
+
+
+class _FunctionWalk:
+    """One walk of one function body under one entry-taint assignment."""
+
+    def __init__(self, analyzer: "_Analyzer", src: SourceFile,
+                 class_name: str, func: ast.FunctionDef,
+                 tainted: frozenset[str], sealed: frozenset[str],
+                 entry: str, depth: int) -> None:
+        self.analyzer = analyzer
+        self.src = src
+        self.class_name = class_name
+        self.func = func
+        self.entry = entry
+        self.depth = depth
+        self.sealed = set(sealed)
+        #: local name -> entry roots its value derives from (raw; the
+        #: declassified set is subtracted at query time).
+        self.prov: dict[str, frozenset[str]] = {
+            name: frozenset({name}) for name in tainted}
+        self.declassified: set[str] = set()
+        #: locals aliased to node-local (``self``-rooted) state.
+        self.stateful: set[str] = set()
+        #: flag local -> roots certified when the flag is tested.
+        self.cert_flags: dict[str, frozenset[str]] = {}
+        #: ``x = container.get(key)`` -> roots certified by ``x is None``
+        #: style membership guards.
+        self.membership_flags: dict[str, frozenset[str]] = {}
+        self.summary = _Summary()
+
+    # -- taint queries --------------------------------------------------
+    def raw_roots(self, expr: ast.AST) -> frozenset[str]:
+        """Entry roots ``expr`` derives from, ignoring declassification."""
+        roots: set[str] = set()
+        stack: list[ast.AST] = [expr]
+        while stack:
+            node = stack.pop()
+            if isinstance(node, ast.Lambda):
+                # Lambda bodies run later; their captures do not taint
+                # the value of the enclosing expression.
+                continue
+            if isinstance(node, ast.Name):
+                roots |= self.prov.get(node.id, frozenset())
+            elif (isinstance(node, ast.Attribute)
+                  and node.attr == "payload"
+                  and isinstance(node.value, ast.Name)
+                  and node.value.id in self.sealed):
+                roots.add(node.value.id)
+            stack.extend(ast.iter_child_nodes(node))
+        return frozenset(roots)
+
+    def roots(self, expr: ast.AST) -> frozenset[str]:
+        """Currently-tainted entry roots ``expr`` derives from."""
+        return self.raw_roots(expr) - self.declassified
+
+    def _is_stateful(self, expr: ast.AST) -> bool:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Name) and (
+                    node.id == "self" or node.id in self.stateful):
+                return True
+        return False
+
+    @staticmethod
+    def _base_name(expr: ast.expr) -> str | None:
+        while isinstance(expr, (ast.Attribute, ast.Subscript)):
+            expr = expr.value
+        if isinstance(expr, ast.Name):
+            return expr.id
+        return None
+
+    # -- findings -------------------------------------------------------
+    def _report(self, node: ast.AST, sink: str, detail: str) -> None:
+        self.analyzer.report(self.src, node, sink, detail, self.entry)
+
+    # -- statement dispatch ---------------------------------------------
+    def run(self) -> _Summary:
+        self._block(self.func.body)
+        return self.summary
+
+    def _block(self, statements: Sequence[ast.stmt]) -> None:
+        for stmt in statements:
+            self._statement(stmt)
+
+    def _statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            self._scan_calls(stmt.value)
+            for target in stmt.targets:
+                self._assign(target, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_calls(stmt.value)
+                self._assign(stmt.target, stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self._scan_calls(stmt.value)
+            self._aug_assign(stmt)
+        elif isinstance(stmt, ast.Expr):
+            self._scan_calls(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self._scan_calls(stmt.value)
+                if self.roots(stmt.value):
+                    self.summary.returns_tainted = True
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._for(stmt)
+        elif isinstance(stmt, ast.While):
+            self._scan_calls(stmt.test)
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._scan_calls(item.context_expr)
+            self._block(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._block(stmt.body)
+            for handler in stmt.handlers:
+                self._block(handler.body)
+            self._block(stmt.orelse)
+            self._block(stmt.finalbody)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._scan_calls(stmt.exc)
+        # Nested function/class defs and the rest are opaque.
+
+    # -- assignments ----------------------------------------------------
+    def _assign(self, target: ast.expr, value: ast.expr) -> None:
+        value_roots = self.raw_roots(value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, value)
+            return
+        if isinstance(target, ast.Name):
+            self.prov[target.id] = value_roots
+            if self._is_stateful(value):
+                self.stateful.add(target.id)
+            else:
+                self.stateful.discard(target.id)
+            self._record_flags(target.id, value)
+            return
+        if isinstance(target, (ast.Attribute, ast.Subscript)):
+            base = self._base_name(target)
+            if base == "self" or base in self.stateful:
+                live = value_roots - self.declassified
+                if live:
+                    self._report(target, "state write",
+                                 f"tainted value assigned to "
+                                 f"`{_render(target)}`")
+                if isinstance(target, ast.Subscript):
+                    key_roots = self.roots(target.slice)
+                    if key_roots:
+                        self._report(
+                            target, "state write",
+                            f"attacker-chosen key into `{_render(target)}` "
+                            "(unbounded map growth)")
+
+    def _aug_assign(self, stmt: ast.AugAssign) -> None:
+        target = stmt.target
+        if isinstance(target, ast.Name):
+            self.prov[target.id] = (self.prov.get(target.id, frozenset())
+                                    | self.raw_roots(stmt.value))
+            return
+        self._assign(target, stmt.value)
+
+    def _record_flags(self, name: str, value: ast.expr) -> None:
+        """Remember sanitizer/membership results bound to a local."""
+        cert_roots: set[str] = set()
+        for node in ast.walk(value):
+            if isinstance(node, ast.Call) and \
+                    is_sanitizer_name(call_name(node)):
+                for arg in node.args:
+                    cert_roots |= self.raw_roots(arg)
+        if cert_roots:
+            self.cert_flags[name] = frozenset(cert_roots)
+        else:
+            self.cert_flags.pop(name, None)
+        if isinstance(value, ast.Name):
+            # Plain alias: carry the flags of the source local along.
+            if value.id in self.cert_flags:
+                self.cert_flags[name] = self.cert_flags[value.id]
+            if value.id in self.membership_flags:
+                self.membership_flags[name] = \
+                    self.membership_flags[value.id]
+            return
+        # A lookup into node-local state by a claimed key
+        # (``self.txns.get(ballot)``, ``self.store.local(seq)``): a
+        # later ``is None`` guard on the result certifies the key.
+        if isinstance(value, ast.Call) and \
+                isinstance(value.func, ast.Attribute) and \
+                self._is_stateful(value.func.value):
+            key_roots = frozenset().union(
+                *[self.raw_roots(a) for a in value.args]) if value.args \
+                else frozenset()
+            if key_roots:
+                self.membership_flags[name] = key_roots
+        else:
+            self.membership_flags.pop(name, None)
+
+    # -- guards ---------------------------------------------------------
+    def _certified_roots(self, test: ast.expr,
+                         allow_membership: bool) -> frozenset[str]:
+        """Roots a guard over ``test`` certifies, per the trust model.
+
+        ``allow_membership`` is True only when the guarded body
+        early-exits: ``if x is None: return`` is a membership *check*,
+        while ``if x is None: <create entry>`` is unbounded creation
+        and certifies nothing.
+        """
+        certified: set[str] = set()
+        for node in ast.walk(test):
+            if isinstance(node, ast.Call) and \
+                    is_sanitizer_name(call_name(node)):
+                for arg in node.args:
+                    certified |= self.raw_roots(arg)
+            elif isinstance(node, ast.Compare):
+                certified |= self._compare_certified(node, allow_membership)
+            elif isinstance(node, ast.Name):
+                certified |= self.cert_flags.get(node.id, frozenset())
+                if "quorum" in node.id.lower() or \
+                        "majority" in node.id.lower():
+                    # A boolean local named after quorum attainment
+                    # (``reached_quorum``) certifies what produced it.
+                    certified |= self.prov.get(node.id, frozenset())
+        return frozenset(certified)
+
+    def _compare_certified(self, node: ast.Compare,
+                           allow_membership: bool) -> frozenset[str]:
+        sides = [node.left, *node.comparators]
+        ops = node.ops
+        # Digest equality against a locally computed digest.
+        if any(isinstance(op, (ast.Eq, ast.NotEq)) for op in ops) and \
+                any(mentions_digest(side) for side in sides):
+            return self.raw_roots(node)
+        # Quorum-threshold comparison.
+        if mentions_quorum(node):
+            return self.raw_roots(node)
+        # Watermark / window bounds comparison.
+        if any(isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE))
+               for op in ops) and mentions_watermark(node):
+            return self.raw_roots(node)
+        if not allow_membership:
+            return frozenset()
+        # Membership against node-local state (``x in self.seen``).
+        if any(isinstance(op, (ast.In, ast.NotIn)) for op in ops) and \
+                any(self._is_stateful(side) for side in sides):
+            return self.raw_roots(node.left)
+        # ``x is None`` over a tracked ``container.get(key)`` local.
+        if any(isinstance(op, (ast.Is, ast.IsNot)) for op in ops):
+            certified: set[str] = set()
+            for side in sides:
+                if isinstance(side, ast.Name):
+                    certified |= self.membership_flags.get(side.id,
+                                                           frozenset())
+            return frozenset(certified)
+        return frozenset()
+
+    @staticmethod
+    def _exits(body: Sequence[ast.stmt]) -> bool:
+        return any(isinstance(stmt, (ast.Return, ast.Raise, ast.Continue,
+                                     ast.Break))
+                   for stmt in body)
+
+    def _if(self, stmt: ast.If) -> None:
+        self._scan_calls(stmt.test)
+        exits = self._exits(stmt.body)
+        certified = self._certified_roots(
+            stmt.test, allow_membership=exits) - self.declassified
+        if exits:
+            # Either ``if not sane(x): return`` (body is the failing
+            # path; the rest of the function is certified) or
+            # ``if sane(x): <use x>; return`` (body is the certified
+            # success path). Both polarities certify body *and* rest —
+            # failing paths do not adopt state, so the imprecision on
+            # the first shape is harmless.
+            self.declassified |= certified
+            self._block(stmt.body)
+            self._block(stmt.orelse)
+        else:
+            # ``if sane(x): <use x>`` — certification scoped to the block.
+            before = set(self.declassified)
+            self.declassified |= certified
+            self._block(stmt.body)
+            self.declassified = before
+            self._block(stmt.orelse)
+
+    def _for(self, stmt: ast.For | ast.AsyncFor) -> None:
+        self._scan_calls(stmt.iter)
+        self._assign(stmt.target, stmt.iter)
+        self._block(stmt.body)
+        self._block(stmt.orelse)
+
+    # -- calls ----------------------------------------------------------
+    def _scan_calls(self, expr: ast.expr) -> None:
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                self._check_call(node)
+
+    def _call_args(self, call: ast.Call) -> list[ast.expr]:
+        return list(call.args) + [kw.value for kw in call.keywords]
+
+    def _check_call(self, call: ast.Call) -> None:
+        name = call_name(call)
+        args = self._call_args(call)
+        tainted_args = [arg for arg in args if self.roots(arg)]
+        receiver = call.func.value if isinstance(call.func, ast.Attribute) \
+            else None
+        if tainted_args:
+            if name in MUTATOR_METHODS and receiver is not None and \
+                    self._is_stateful(receiver):
+                self._report(call, "state write",
+                             f"tainted argument to state mutator "
+                             f"`{_render(call.func)}(...)`")
+            elif name in STORAGE_SINKS and receiver is not None and \
+                    self._is_stateful(receiver):
+                self._report(call, "storage write",
+                             f"tainted argument to `{_render(call.func)}"
+                             "(...)`")
+            elif name in SIGN_SINKS or name == SIGNED_CONSTRUCTOR:
+                self._report(call, "re-sign",
+                             f"tainted data signed via "
+                             f"`{_render(call.func)}(...)`")
+            elif name in SEND_SINKS:
+                self._report(call, "outbound send",
+                             f"tainted data sent via "
+                             f"`{_render(call.func)}(...)`")
+        self._interprocedural(call, name)
+
+    def _interprocedural(self, call: ast.Call, name: str) -> None:
+        func = None
+        callee_class = ""
+        if isinstance(call.func, ast.Attribute) and \
+                isinstance(call.func.value, ast.Name) and \
+                call.func.value.id == "self" and self.class_name:
+            methods = self.analyzer.index.methods.get(
+                (self.src.display, self.class_name), {})
+            func = methods.get(name)
+            callee_class = self.class_name
+        elif isinstance(call.func, ast.Name):
+            func = self.analyzer.index.functions.get(self.src.display,
+                                                     {}).get(name)
+        if func is None or func is self.func:
+            return
+        params = [arg.arg for arg in func.args.args]
+        if params and params[0] == "self":
+            params = params[1:]
+        tainted: set[str] = set()
+        sealed: set[str] = set()
+        for pos, arg in enumerate(call.args):
+            if pos >= len(params):
+                break
+            if isinstance(arg, ast.Name) and arg.id in self.sealed:
+                sealed.add(params[pos])
+            elif self.roots(arg):
+                tainted.add(params[pos])
+        for kw in call.keywords:
+            if kw.arg in params:
+                if isinstance(kw.value, ast.Name) and \
+                        kw.value.id in self.sealed:
+                    sealed.add(kw.arg)
+                elif self.roots(kw.value):
+                    tainted.add(kw.arg)
+        caller = f"{self.class_name}.{self.func.name}" if self.class_name \
+            else self.func.name
+        callee = f"{callee_class}.{name}" if callee_class else name
+        self.analyzer.call_edges.append((caller, callee))
+        self.analyzer.analyze_function(
+            self.src, callee_class, func, frozenset(tainted),
+            frozenset(sealed), self.entry, self.depth + 1)
+
+
+class _Analyzer:
+    """Corpus-wide driver: handler roots, memoized walks, findings."""
+
+    def __init__(self, files: Sequence[SourceFile]) -> None:
+        self.index: CorpusIndex = build_index(files)
+        self.handlers = extract_handlers(files)
+        self.findings: list[Finding] = []
+        self.call_edges: list[tuple[str, str]] = []
+        self._seen_sinks: set[tuple[str, int, int, str]] = set()
+        self._cache: dict[tuple[int, frozenset[str], frozenset[str]],
+                          _Summary] = {}
+        self._stack: set[tuple[int, frozenset[str], frozenset[str]]] = set()
+
+    def report(self, src: SourceFile, node: ast.AST, sink: str,
+               detail: str, entry: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        key = (src.display, line, col, detail)
+        if key in self._seen_sinks:
+            return
+        self._seen_sinks.add(key)
+        self.findings.append(Finding(
+            rule=TAINT_FLOW_ID, severity="error", path=src.display,
+            line=line, col=col,
+            message=(f"{sink} not dominated by a sanitizer: {detail} "
+                     f"[via {entry}]")))
+
+    def analyze_function(self, src: SourceFile, class_name: str,
+                         func: ast.FunctionDef, tainted: frozenset[str],
+                         sealed: frozenset[str], entry: str,
+                         depth: int) -> _Summary:
+        if depth > _MAX_DEPTH or (not tainted and not sealed):
+            return _Summary()
+        key = (id(func), tainted, sealed)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if key in self._stack:
+            return _Summary()
+        self._stack.add(key)
+        try:
+            walk = _FunctionWalk(self, src, class_name, func, tainted,
+                                 sealed, entry, depth)
+            summary = walk.run()
+        finally:
+            self._stack.discard(key)
+        self._cache[key] = summary
+        return summary
+
+    def run(self) -> CorpusAnalysis:
+        for handler in self.handlers:
+            src = self.index.sources.get(handler.path)
+            if src is None:
+                continue
+            methods = self.index.methods.get(
+                (handler.path, handler.class_name), {})
+            func = methods.get(handler.func_name)
+            if func is None:
+                continue
+            params = [arg.arg for arg in func.args.args]
+            if params and params[0] == "self":
+                params = params[1:]
+            tainted: set[str] = set()
+            sealed: set[str] = set()
+            if handler.kind == "handler":
+                # register_handler targets: (sender, payload, envelope).
+                if len(params) > 1:
+                    tainted.add(params[1])
+                if len(params) > 2:
+                    sealed.add(params[2])
+            else:
+                # register_kind validators: (instance, context, digest).
+                tainted.update(params[1:3])
+            entry = f"{handler.message} -> {handler.qualname}"
+            self.analyze_function(src, handler.class_name, func,
+                                  frozenset(tainted), frozenset(sealed),
+                                  entry, depth=0)
+        analysis = CorpusAnalysis(handlers=self.handlers,
+                                  findings=self.findings,
+                                  call_edges=sorted(set(self.call_edges)))
+        return analysis
+
+
+def analyze_corpus(files: Sequence[SourceFile]) -> CorpusAnalysis:
+    """Run the verify-before-trust analysis over a parsed corpus."""
+    return _Analyzer(files).run()

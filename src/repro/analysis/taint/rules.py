@@ -1,0 +1,81 @@
+"""Lint-engine rules wrapping the taint analysis.
+
+Two :class:`~repro.analysis.lint.engine.ProjectRule` subclasses expose
+the analysis through the existing lint machinery (same same-line
+``# lint: allow[id]`` suppressions, same JSON report):
+
+- ``taint-flow`` — every unsanitized flow from a wire-message field
+  into a state/storage/sign/send sink;
+- ``taint-coverage`` — registry cross-check: every wire message in
+  ``repro.messages.registry`` (except client-delivered replies) must
+  have a registered handler. Only enforced when the corpus contains the
+  real tree (marker: ``repro/pbft/host.py``), so fixture corpora in
+  tests are not spammed with coverage noise.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.analysis.lint.engine import Finding, ProjectRule, SourceFile
+from repro.analysis.taint.engine import analyze_corpus
+
+__all__ = ["TaintFlowRule", "TaintCoverageRule", "taint_rules",
+           "taint_rule_ids"]
+
+#: Corpus file whose presence marks "this is the real tree".
+_TREE_MARKER = "repro/pbft/host.py"
+
+
+class TaintFlowRule(ProjectRule):
+    """Unsanitized wire-message data reaching a protocol sink."""
+
+    id = "taint-flow"
+    severity = "error"
+    description = ("flow from a wire-message field into state mutation, "
+                   "storage, re-signing, or outbound send that is not "
+                   "dominated by a sanitizer")
+
+    def check_project(self,
+                      files: Sequence[SourceFile]) -> Iterator[Finding]:
+        yield from analyze_corpus(files).findings
+
+
+class TaintCoverageRule(ProjectRule):
+    """Registry totality of the handler graph on the real tree."""
+
+    id = "taint-coverage"
+    severity = "error"
+    description = ("every wire message in repro.messages.registry must "
+                   "have a register_handler site (client-delivered "
+                   "replies excepted)")
+
+    def check_project(self,
+                      files: Sequence[SourceFile]) -> Iterator[Finding]:
+        marker = None
+        for src in files:
+            if src.path.as_posix().endswith(_TREE_MARKER):
+                marker = src
+        if marker is None:
+            return
+        from repro.analysis.taint.graph import extract_handlers
+        from repro.messages.registry import CLIENT_DELIVERED, WIRE_MESSAGES
+        handled = {h.message for h in extract_handlers(files)}
+        for name in sorted(WIRE_MESSAGES):
+            if name in CLIENT_DELIVERED or name in handled:
+                continue
+            yield self.finding(
+                marker, marker.tree,
+                f"wire message {name} has no register_handler site in "
+                "the analyzed corpus; unhandled messages bypass the "
+                "verify-before-trust boundary")
+
+
+def taint_rules() -> list[ProjectRule]:
+    """The taint rule set (kept separate from ``default_rules``)."""
+    return [TaintFlowRule(), TaintCoverageRule()]
+
+
+def taint_rule_ids() -> frozenset[str]:
+    """Rule ids contributed by the taint analysis."""
+    return frozenset(rule.id for rule in taint_rules())

@@ -118,6 +118,21 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--format", choices=("text", "json"), default="text",
                       help="report format (default: text)")
 
+    taint = sub.add_parser(
+        "taint",
+        help="run the Byzantine taint analysis over the wire-message "
+             "trust boundary and print the verify-before-trust report")
+    taint.add_argument("paths", nargs="*", default=["src/repro"],
+                       metavar="PATH",
+                       help="files or directories to analyze "
+                            "(default: src/repro)")
+    taint.add_argument("--format", choices=("text", "json"),
+                       default="text",
+                       help="report format (default: text)")
+    taint.add_argument("--dot", default=None, metavar="PATH",
+                       help="also write the handler-flow graph "
+                            "(Graphviz DOT) here")
+
     chaos = sub.add_parser(
         "chaos",
         help="run a deterministic adversarial campaign and print the "
@@ -345,6 +360,25 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(result.to_json() if args.format == "json"
               else result.to_text())
         return result.exit_code
+
+    if args.command == "taint":
+        from pathlib import Path
+
+        from repro.analysis.lint import LintError
+        from repro.analysis.taint import handler_graph_dot, run_taint
+        try:
+            result = run_taint(args.paths)
+            if args.dot:
+                Path(args.dot).write_text(handler_graph_dot(args.paths))
+                print(f"handler-flow graph: {args.dot}", file=sys.stderr)
+        except LintError as exc:
+            print(f"repro taint: {exc}", file=sys.stderr)
+            return 2
+        print(result.to_json() if args.format == "json"
+              else result.to_text())
+        # Unjustified suppressions gate the tree just like findings do:
+        # every ``allow[taint-flow]`` must explain *why* the flow is safe.
+        return 1 if (result.findings or result.unjustified) else 0
 
     if args.command == "chaos":
         from pathlib import Path

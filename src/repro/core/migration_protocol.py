@@ -255,12 +255,16 @@ class MigrationEngine:
         key = self._key(state.ballot, state.client_id)
         if key in self._applied:
             return
+        if digest(state.records) != state.records_digest:
+            # Checked *before* parking: a self-inconsistent STATE from a
+            # Byzantine sender must not displace a genuine buffered one
+            # (the certificate can only be checked after the commit
+            # executes, but this digest is verifiable immediately).
+            return
         if self.node.sync.result_for(self._canonical(state.ballot),
                                      state.client_id) is None:
             # STATE raced ahead of the global commit; park it.
             self._buffered_states[key] = (sender, state, envelope)
-            return
-        if digest(state.records) != state.records_digest:
             return
         source_zone = self._source_zone_of.get(key)
         if source_zone is None:

@@ -26,6 +26,7 @@ from repro.core.metadata import GlobalMetadata, MigrationOutcome, PolicySet
 from repro.core.migration_protocol import MigrationConfig, MigrationEngine
 from repro.core.sync_protocol import SyncConfig, SyncEngine
 from repro.core.zone import ZoneDirectory
+from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.messages.client import MigrationRequest
 from repro.messages.sync import Ballot, CheckpointRef
@@ -138,6 +139,12 @@ class ZiziphusNode(HostNode):
         """Lazy synchronization (§V-B): keep other zones' newest stable
         checkpoints so their data survives a whole-zone failure."""
         if ref.zone_id == self.zone_info.zone_id:
+            return
+        # Refs piggyback on ACCEPTED/COMMIT messages but are *not* bound
+        # by those certificates, so verify the snapshot against its own
+        # digest before adoption: a Byzantine relay must not be able to
+        # displace a zone's genuine checkpoint with fabricated state.
+        if digest(ref.snapshot) != ref.state_digest:
             return
         current = self.remote_states.get(ref.zone_id)
         if current is None or ref.sequence > current.sequence:

@@ -1182,7 +1182,7 @@ class SyncEngine:
         if self.last_accepted > query.ballot:
             return
         key = (query.ballot, query.phase)
-        senders = self._query_log.setdefault(key, set())
+        senders = self._query_log.setdefault(key, set())  # lint: allow[taint-flow] query audit log: senders are rate-limited by QueryAudit above and entries only feed the faulty-primary detector
         senders.add(sender)
         querier_zone = self.directory.zone_of(sender)
         quorum = self.directory.zone(querier_zone).quorum

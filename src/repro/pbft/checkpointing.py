@@ -137,8 +137,8 @@ class CheckpointManager:
                      state_digest: bytes) -> None:
         if voter not in self.group:
             return
-        became_stable = self.store.vote(voter, sequence, state_digest)
-        if became_stable and sequence > self._announced_stable:
+        reached_quorum = self.store.vote(voter, sequence, state_digest)  # lint: allow[taint-flow] checkpoint vote aggregation; CheckpointStore requires a 2f+1 quorum before stability
+        if reached_quorum and sequence > self._announced_stable:
             self._announced_stable = sequence
             if self.on_stable is not None:
                 self.on_stable(sequence)

