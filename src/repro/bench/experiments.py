@@ -32,6 +32,7 @@ __all__ = [
     "fig_backends_comparison",
     "fig_backends_recovery_rows",
     "fig_critical_path_specs",
+    "fig_read_path_specs",
     "FIGURE_SPECS",
     "figure_specs",
 ]
@@ -213,6 +214,25 @@ def fig_critical_path_specs(backends=("default", "rotating"),
             for fraction in global_fractions]
 
 
+def fig_read_path_specs(backends=("default", "rotating", "syncbft"),
+                        read_fractions=(0.95, 0.5),
+                        clients: int = 20,
+                        zone_counts=(3, 5)) -> list[PointSpec]:
+    """Experiment grid of the certified-read figure (repro.reads).
+
+    Read-heavy (95/5) and mixed (50/50) workloads per backend and zone
+    count; the ``read_*`` metric columns show the consensus-free fast
+    path against the transactional baseline, and the conformance
+    monitor's ``viol`` column certifies the runs stayed safe.
+    """
+    return [PointSpec(protocol="ziziphus", num_zones=num_zones,
+                      clients_per_zone=clients,
+                      read_fraction=read_fraction, backend=backend)
+            for backend in backends
+            for read_fraction in read_fractions
+            for num_zones in zone_counts]
+
+
 #: Figure name -> spec-grid factory, the parallel runner's entry table.
 FIGURE_SPECS = {
     "fig4": fig4_fig5_specs,
@@ -222,6 +242,7 @@ FIGURE_SPECS = {
     "fig8": fig8_specs,
     "fig-backends": fig_backends_specs,
     "fig-critical-path": fig_critical_path_specs,
+    "fig-read-path": fig_read_path_specs,
 }
 
 

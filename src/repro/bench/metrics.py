@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 
 from repro.pbft.client import CompletedRequest
 
-__all__ = ["Metrics", "compute_metrics", "phase_breakdown"]
+__all__ = ["Metrics", "compute_metrics", "phase_breakdown",
+           "read_columns"]
 
 
 def _percentile(sorted_values: list[float], fraction: float) -> float:
@@ -100,6 +101,29 @@ def phase_breakdown(obs) -> dict[str, float]:
     }
 
 
+def read_columns(window: list[CompletedRequest]) -> dict[str, float]:
+    """Certified-read columns (repro.reads), present only when the
+    window contains read-labelled records so write-only rows keep their
+    shape:
+
+    - ``read_p50_ms`` / ``read_p95_ms``: fast-path read latency;
+    - ``read_fast``: fraction of reads served without consensus;
+    - ``read_fallbacks``: reads that fell back to the transactional path.
+    """
+    reads = [r for r in window if "read" in r.labels]
+    if not reads:
+        return {}
+    fast = sorted(r.latency_ms for r in reads
+                  if r.labels["read"] == "fast")
+    fallbacks = len(reads) - len(fast)
+    return {
+        "read_p50_ms": _percentile(fast, 0.50),
+        "read_p95_ms": _percentile(fast, 0.95),
+        "read_fast": len(fast) / len(reads),
+        "read_fallbacks": float(fallbacks),
+    }
+
+
 def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
                     end_ms: float, obs=None, monitor=None) -> Metrics:
     """Aggregate records completed in the measurement window.
@@ -119,6 +143,8 @@ def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
     def mean(values: list[float]) -> float:
         return sum(values) / len(values) if values else 0.0
 
+    breakdown = phase_breakdown(obs) if obs is not None else {}
+    breakdown.update(read_columns(window))
     return Metrics(
         completed=len(window),
         throughput_tps=len(window) / duration_s,
@@ -130,6 +156,6 @@ def compute_metrics(records: list[CompletedRequest], warmup_ms: float,
         global_completed=len(globals_),
         local_latency_ms=mean([r.latency_ms for r in locals_]),
         global_latency_ms=mean([r.latency_ms for r in globals_]),
-        phase_breakdown=phase_breakdown(obs) if obs is not None else {},
+        phase_breakdown=breakdown,
         violations=len(monitor.violations) if monitor is not None else None,
     )

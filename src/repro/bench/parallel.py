@@ -79,7 +79,7 @@ def grid_rows(figure: str, jobs: int = 1) -> list[dict]:
     from repro.bench.experiments import figure_specs
 
     rows = run_grid(figure_specs(figure), jobs=jobs)
-    if figure in ("fig-backends", "fig-critical-path"):
+    if figure in ("fig-backends", "fig-critical-path", "fig-read-path"):
         # Backend is a swept dimension here: fill the column in for the
         # default rows too (elsewhere it is omitted when default).
         for row in rows:

@@ -58,6 +58,9 @@ class PointSpec:
     clients_per_zone: int = 50
     global_fraction: float = 0.1
     cross_cluster_fraction: float = 0.0
+    #: Fraction of client actions issued as certified reads; > 0 turns
+    #: on the watermark machinery (ziziphus protocol only).
+    read_fraction: float = 0.0
     num_clusters: int = 1
     zones_per_cluster: int | None = None
     backup_failures_per_zone: int = 0
@@ -118,6 +121,8 @@ class PointResult:
             "clients/zone": self.spec.clients_per_zone,
             "global%": int(self.spec.global_fraction * 100),
         }
+        if self.spec.read_fraction:
+            out["read%"] = int(self.spec.read_fraction * 100)
         if self.spec.backend != "default":
             out["backend"] = self.spec.backend
         out.update(self.metrics.row())
@@ -126,7 +131,8 @@ class PointResult:
 
 def _mix(spec: PointSpec) -> WorkloadMix:
     return WorkloadMix(global_fraction=spec.global_fraction,
-                       cross_cluster_fraction=spec.cross_cluster_fraction)
+                       cross_cluster_fraction=spec.cross_cluster_fraction,
+                       read_fraction=spec.read_fraction)
 
 
 def _pbft_config(spec: PointSpec) -> PBFTConfig:
@@ -146,6 +152,10 @@ def _build(spec: PointSpec):
             pbft=pbft, sync=sync, migration=_BENCH_MIGRATION,
             use_threshold_signatures=spec.use_threshold_signatures,
             backend=spec.backend)
+        if spec.read_fraction > 0:
+            from repro.reads import ReadConfig
+            config.read = ReadConfig(enabled=True)
+            config.read_fraction = spec.read_fraction
         if spec.protocol == "steward":
             return build_steward(config)
         return build_ziziphus(config)

@@ -1,6 +1,6 @@
 """Built-in chaos campaigns.
 
-The ``default`` campaign is the resilience regression suite: thirteen
+The ``default`` campaign is the resilience regression suite: fifteen
 scenarios on the standard 3-zone / ``f=1`` deployment, spanning every
 fault family the paper's adversary model covers —
 
@@ -11,10 +11,12 @@ fault family the paper's adversary model covers —
   monitor must flag,
 - crash/recovery churn, including a primary crash that forces a view
   change and an over-budget double crash,
-- WAN and zone-internal partitions with timed heals, and
-- primary-targeted isolation.
+- WAN and zone-internal partitions with timed heals,
+- primary-targeted isolation, and
+- certified-read attacks (stale watermark replay within budget,
+  fabricated watermark claims over budget).
 
-The ``smoke`` campaign is the five-scenario subset CI runs on every
+The ``smoke`` campaign is the seven-scenario subset CI runs on every
 push. All fire times follow one clock: faults land around 700–1000 ms
 (after the workload has ramped), heals around 1800–2400 ms, and every
 run lasts 4000 ms — long enough for any healed zone to re-converge and
@@ -134,8 +136,27 @@ _DEFAULT: tuple[Scenario, ...] = (
                  _recover(2100, "z0n1"),
                  _behavior(2200, "z2n1", "honest"))),
     # ------------------------------------------------------------------
+    # Certified-read attacks (repro.reads; read-mixed workload).
+    # ------------------------------------------------------------------
+    Scenario(
+        name="read-stale-within-budget",
+        description="one z0 replica freezes its read watermark and "
+                    "serves ever-staler certified reads, then heals; "
+                    "clients must reject past the bound and fall back",
+        budget="<=f", expect="safe", read_fraction=0.5,
+        actions=(_behavior(800, "z0n1", "stale-read"),
+                 _behavior(2200, "z0n1", "honest"))),
+    # ------------------------------------------------------------------
     # Over-budget adversaries: the monitor must flag these.
     # ------------------------------------------------------------------
+    Scenario(
+        name="read-fabricate-over-budget",
+        description="two z1 replicas answer certified reads with "
+                    "fabricated watermark claims; the evidence must "
+                    "land them in the culpability table",
+        budget=">f", expect="violation", read_fraction=0.5,
+        actions=(_behavior(800, "z1n1", "fabricate-read"),
+                 _behavior(800, "z1n2", "fabricate-read"))),
     Scenario(
         name="byz-equivocate-over-budget",
         description="z0 primary equivocates with a silent accomplice "
@@ -166,7 +187,8 @@ _DEFAULT: tuple[Scenario, ...] = (
 )
 
 _SMOKE_NAMES = ("byz-silent-backup", "primary-crash-failover",
-                "zone-partition-heal", "byz-silent-majority",
+                "zone-partition-heal", "read-stale-within-budget",
+                "read-fabricate-over-budget", "byz-silent-majority",
                 "crash-over-budget")
 
 #: Initiator-failover campaign (runs under every *global* consensus

@@ -344,13 +344,18 @@ def _build(scenario: Scenario, seed: int, num_zones: int, f: int,
                             migration=_CHAOS_MIGRATION,
                             use_threshold_signatures=True,
                             backend=backend)
+    if scenario.read_fraction > 0:
+        from repro.reads import ReadConfig
+        config.read = ReadConfig(enabled=True)
+        config.read_fraction = scenario.read_fraction
     deployment = build_ziziphus(config)
     return deployment
 
 
 def _make_driver(deployment, scenario: Scenario, seed: int):
     driver = ClosedLoopDriver(
-        deployment, WorkloadMix(global_fraction=scenario.global_fraction),
+        deployment, WorkloadMix(global_fraction=scenario.global_fraction,
+                                read_fraction=scenario.read_fraction),
         clients_per_zone=scenario.clients_per_zone, seed=seed)
     for client in deployment.clients.values():
         client.retransmit_ms = _CLIENT_RETRANSMIT_MS
@@ -497,7 +502,7 @@ def run_campaign(name: str = "default", seed: int = 1, num_zones: int = 3,
     twins: dict[tuple, Metrics] = {}
     for scenario in scenarios:
         key = (scenario.clients_per_zone, scenario.global_fraction,
-               scenario.duration_ms)
+               scenario.read_fraction, scenario.duration_ms)
         if key not in twins:
             twins[key] = _run_twin(scenario, seed, num_zones, f, backend)
         result.results.append(

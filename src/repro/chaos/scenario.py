@@ -170,6 +170,9 @@ class Scenario:
     #: Workload shape (closed loop, per the bench driver).
     clients_per_zone: int = 2
     global_fraction: float = 0.1
+    #: Fraction of actions issued as certified reads; > 0 turns on the
+    #: watermark machinery in the deployment under test.
+    read_fraction: float = 0.0
 
     def validate(self, f: int) -> None:
         """Check internal consistency against the deployment's ``f``.
@@ -228,7 +231,7 @@ class Scenario:
 
     def as_dict(self) -> dict:
         """Stable dict form for the machine-readable report."""
-        return {
+        out = {
             "name": self.name,
             "description": self.description,
             "budget": self.budget,
@@ -239,3 +242,6 @@ class Scenario:
             "global_fraction": self.global_fraction,
             "actions": [a.as_dict() for a in self.actions],
         }
+        if self.read_fraction:
+            out["read_fraction"] = self.read_fraction
+        return out

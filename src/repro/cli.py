@@ -27,7 +27,7 @@ from repro.errors import ConfigurationError
 __all__ = ["main", "build_parser"]
 
 FIGURES = ("fig4", "fig5", "fig6", "fig7", "fig8", "fig-backends",
-           "fig-critical-path")
+           "fig-critical-path", "fig-read-path")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -245,6 +245,10 @@ def _add_point_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--clients", type=int, default=50,
                         help="clients per zone")
     parser.add_argument("--global-fraction", type=float, default=0.1)
+    parser.add_argument("--read-fraction", type=float, default=0.0,
+                        help="fraction of client actions issued as "
+                             "certified reads (repro.reads; default 0 "
+                             "keeps the workload write-only)")
     parser.add_argument("--clusters", type=int, default=1)
     parser.add_argument("--cross-cluster-fraction", type=float, default=0.0)
     parser.add_argument("--warmup-ms", type=float, default=300.0)
@@ -262,6 +266,7 @@ def _spec(args: argparse.Namespace, protocol: str) -> PointSpec:
     return PointSpec(protocol=protocol, num_zones=args.zones, f=args.f,
                      clients_per_zone=args.clients,
                      global_fraction=args.global_fraction,
+                     read_fraction=args.read_fraction,
                      num_clusters=args.clusters,
                      cross_cluster_fraction=args.cross_cluster_fraction,
                      backup_failures_per_zone=args.failures_per_zone,

@@ -20,12 +20,15 @@ from typing import Any, Callable
 
 from repro.core.quorums import weak_quorum
 from repro.core.zone import ZoneDirectory
+from repro.crypto.certificates import CertificateVerifier
 from repro.crypto.digest import digest
 from repro.crypto.keys import KeyRegistry
 from repro.messages.base import Signed, verify_signed
 from repro.messages.client import ClientReply, ClientRequest, MigrationRequest
+from repro.messages.reads import ReadReply, ReadRequest
 from repro.messages.trace import SpanContext, trace_id
 from repro.pbft.client import CompletedRequest
+from repro.reads import ReadConfig
 from repro.sim.events import Simulator
 from repro.sim.network import Network
 from repro.sim.process import CostModel, Process
@@ -39,7 +42,8 @@ class MobileClient(Process):
     def __init__(self, sim: Simulator, network: Network, keys: KeyRegistry,
                  client_id: str, directory: ZoneDirectory, home_zone: str,
                  initiator_resolver: Callable[[str, str], str] | None = None,
-                 retransmit_ms: float = 4_000.0) -> None:
+                 retransmit_ms: float = 4_000.0,
+                 read_config: ReadConfig | None = None) -> None:
         super().__init__(sim, client_id,
                          CostModel(base_ms=0.0, verify_ms=0.0))
         self.network = network
@@ -60,6 +64,16 @@ class MobileClient(Process):
         self._started_at = 0.0
         self._replies: dict[bytes, set[str]] = {}
         self._retry_timer = None
+        # Certified read path (repro.reads): verified-watermark session
+        # vector, in-flight fast-path read, and per-result reply votes.
+        self.reads = read_config or ReadConfig()
+        self.session: dict[str, int] = {}
+        self._verifier = CertificateVerifier(keys)
+        self._read_outstanding: ReadRequest | None = None
+        self._read_started = 0.0
+        self._read_votes: dict[bytes, dict[str, tuple[float, int]]] = {}
+        self._read_timer = None
+        self._fallback_read = False
 
     # ------------------------------------------------------------------
     # Addressing
@@ -123,12 +137,166 @@ class MobileClient(Process):
                                    sender=self.node_id)
         self._launch(request, target_zone=self.current_zone)
 
+    # ------------------------------------------------------------------
+    # Certified reads (repro.reads): consensus-free, watermark-verified
+    # ------------------------------------------------------------------
+    def submit_read(self, operation: tuple) -> None:
+        """Issue a certified fast-path read in the current zone.
+
+        The request fans out to every zone member; completion requires
+        ``f+1`` matching results, each individually backed by a verified
+        watermark certificate within the staleness bound. Any timeout,
+        verification failure, bound violation, or explicit rejection
+        (e.g. the record is mid-migration) falls back to the
+        transactional path — the fallback is transparent to the caller.
+        """
+        if not self.reads.enabled:
+            self.submit_local(operation)
+            return
+        self.timestamp += 1
+        zone_id = self.current_zone
+        request = ReadRequest(operation=operation, timestamp=self.timestamp,
+                              sender=self.node_id,
+                              session=((zone_id,
+                                        self.session.get(zone_id, 0)),))
+        obs = self.obs
+        if obs is not None and obs.causal:
+            obs.emit(self.sim.now, "txn.submit", node=self.node_id,
+                     trace=trace_id(request), zone=zone_id, target=zone_id,
+                     txn=self._txn_kind(request))
+        self._read_outstanding = request
+        self._read_started = self.sim.now
+        self._read_votes.clear()
+        for member in self.directory.zone(zone_id).members:
+            self._send(request, member)
+        if self._read_timer is not None:
+            self._read_timer.cancel()
+        self._read_timer = self.set_timer(self.reads.read_timeout_ms,
+                                          self._on_read_timeout)
+
+    def _on_read_timeout(self) -> None:
+        if self._read_outstanding is not None:
+            self._read_abandon("timeout")
+
+    def _read_abandon(self, reason: str) -> None:
+        """Fall back to the transactional path for the in-flight read."""
+        request = self._read_outstanding
+        self._read_outstanding = None
+        if self._read_timer is not None:
+            self._read_timer.cancel()
+            self._read_timer = None
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self.sim.now, "read.fallback", node=self.node_id,
+                     zone=self.current_zone, reason=reason)
+        started = self._read_started
+        self._fallback_read = True
+        self.timestamp += 1
+        fallback = ClientRequest(operation=request.operation,
+                                 timestamp=self.timestamp,
+                                 sender=self.node_id)
+        self._launch(fallback, target_zone=self.current_zone)
+        # The fallback's latency is charged from the original read
+        # submission: the failed fast path is part of the cost.
+        self._started_at = started
+
+    def _cert_problem(self, cert, zone) -> str | None:
+        """Why a reply's certificate is provably invalid (None if sound)."""
+        if cert is None:
+            return "missing-cert"
+        if cert.zone != zone.zone_id:
+            return "wrong-zone"
+        if cert.body() != cert.certificate.payload_digest:
+            # The cert's claimed (zone, seq, digest, ts) tuple is not the
+            # one its quorum signed: a fabricated watermark claim.
+            return "claim-mismatch"
+        if not self._verifier.is_valid(cert.certificate,
+                                       weak_quorum(zone.f),
+                                       frozenset(zone.members)):
+            return "bad-quorum"
+        return None
+
+    def _on_read_reply(self, reply: ReadReply) -> None:
+        request = self._read_outstanding
+        if request is None or reply.timestamp != request.timestamp:
+            return
+        zone = self.directory.zone(self.current_zone)
+        if reply.sender not in zone.members:
+            return
+        obs = self.obs
+        if reply.status != "ok":
+            # An explicit rejection code: the record is mid-migration,
+            # the zone has no usable watermark yet, or the operation is
+            # not servable — take the transactional path immediately.
+            self._read_abandon(reply.status)
+            return
+        cert = reply.cert
+        problem = self._cert_problem(cert, zone)
+        if problem is not None:
+            if obs is not None:
+                obs.emit(self.sim.now, "read.invalid", node=self.node_id,
+                         sender=reply.sender, zone=zone.zone_id,
+                         reason=problem)
+            return
+        age_ms = self.sim.now - cert.watermark_ts
+        if not self.reads.fresh_ok(age_ms):
+            # Genuine but stale certificate: not counted, not flagged —
+            # honest replicas (or the fallback timer) keep us live.
+            if obs is not None:
+                obs.emit(self.sim.now, "read.stale", node=self.node_id,
+                         sender=reply.sender, zone=zone.zone_id,
+                         age_ms=round(age_ms, 6))
+            return
+        if cert.sequence < self.session.get(zone.zone_id, 0):
+            return   # behind our session vector; wait for fresher replies
+        key = digest((reply.result,))
+        votes = self._read_votes.setdefault(key, {})
+        votes[reply.sender] = (age_ms, cert.sequence)
+        if len(votes) < weak_quorum(zone.f):
+            return
+        self._read_complete(request, reply.result, votes, zone.zone_id)
+
+    def _read_complete(self, request: ReadRequest, result: Any,
+                       votes: dict[str, tuple[float, int]],
+                       zone_id: str) -> None:
+        self._read_outstanding = None
+        if self._read_timer is not None:
+            self._read_timer.cancel()
+            self._read_timer = None
+        sequence = max(seq for _, seq in votes.values())
+        age_ms = max(age for age, _ in votes.values())
+        # Session vector: verified watermarks only, monotonically rising.
+        self.session[zone_id] = max(self.session.get(zone_id, 0), sequence)
+        record = CompletedRequest(timestamp=request.timestamp,
+                                  operation=request.operation,
+                                  result=result,
+                                  started_at=self._read_started,
+                                  completed_at=self.sim.now,
+                                  labels={"read": "fast"})
+        self.completed.append(record)
+        obs = self.obs
+        if obs is not None:
+            obs.emit(self.sim.now, "read.complete", node=self.node_id,
+                     zone=zone_id, sequence=sequence,
+                     age_ms=round(age_ms, 6),
+                     bound_ms=self.reads.staleness_bound_ms)
+            if obs.causal:
+                obs.emit(self.sim.now, "txn.reply", node=self.node_id,
+                         trace=trace_id(request),
+                         latency_ms=round(
+                             self.sim.now - self._read_started, 6),
+                         txn=self._txn_kind(request))
+        if self.on_complete is not None:
+            self.on_complete(record)
+
     @staticmethod
     def _txn_kind(request: Any) -> str:
         if isinstance(request, MigrationRequest):
             return "migration"
         if isinstance(request, ClientRequest):
             return "local"
+        if isinstance(request, ReadRequest):
+            return "read"
         return "cross-zone"
 
     def _launch(self, request: Any, target_zone: str) -> None:
@@ -171,11 +339,16 @@ class MobileClient(Process):
     def on_message(self, sender: str, message: Any) -> None:
         if not isinstance(message, Signed):
             return
-        if not isinstance(message.payload, ClientReply):
+        payload = message.payload
+        if isinstance(payload, ReadReply):
+            if verify_signed(self.keys, message):
+                self._on_read_reply(payload)
+            return
+        if not isinstance(payload, ClientReply):
             return
         if not verify_signed(self.keys, message):
             return
-        self._on_reply(message.payload)
+        self._on_reply(payload)
 
     def _on_reply(self, reply: ClientReply) -> None:
         try:
@@ -218,6 +391,9 @@ class MobileClient(Process):
                                   started_at=self._started_at,
                                   completed_at=self.sim.now,
                                   is_global=is_global)
+        if self._fallback_read:
+            record.labels["read"] = "fallback"
+            self._fallback_read = False
         self.completed.append(record)
         obs = self.obs
         if obs is not None and obs.causal:

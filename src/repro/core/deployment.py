@@ -28,6 +28,7 @@ from repro.crypto.keys import KeyRegistry
 from repro.errors import ConfigurationError
 from repro.pbft.faults import Behavior
 from repro.pbft.replica import PBFTConfig
+from repro.reads import ReadConfig
 from repro.sim.events import Simulator
 from repro.sim.latency import LatencyModel, Region, regions_for_zones
 from repro.sim.network import Network
@@ -56,6 +57,11 @@ class ZiziphusConfig:
     cluster: ClusterConfig = field(default_factory=ClusterConfig)
     cost_model: CostModel = field(default_factory=CostModel)
     latency: LatencyModel = field(default_factory=LatencyModel)
+    #: Certified read path (disabled by default; see repro.reads).
+    read: ReadConfig = field(default_factory=ReadConfig)
+    #: Fraction of client actions issued as certified reads (workload
+    #: drivers read this; 0.0 keeps the deployment write-only).
+    read_fraction: float = 0.0
     app_factory: Callable[[], Any] = BankingApp
     use_threshold_signatures: bool = False
     #: Named consensus backend (see :mod:`repro.consensus.registry`).
@@ -132,7 +138,8 @@ class ZiziphusDeployment:
                     cost_model=cfg.cost_model,
                     behavior=cfg.behaviors.get(node_id),
                     use_threshold_signatures=cfg.use_threshold_signatures,
-                    backend=self.backend)
+                    backend=self.backend,
+                    read_config=cfg.read)
                 if multi_cluster:
                     node.cluster_engine = ClusterEngine(node, cfg.cluster)
                 self.network.register(node, zone.region)
@@ -189,7 +196,8 @@ class ZiziphusDeployment:
                               keys=self.keys, client_id=client_id,
                               directory=self.directory, home_zone=zone_id,
                               initiator_resolver=self._resolve_initiator,
-                              retransmit_ms=retransmit_ms)
+                              retransmit_ms=retransmit_ms,
+                              read_config=self.config.read)
         self.network.register(client, self._zone_regions[zone_id])
         self.clients[client_id] = client
         # Bootstrap: meta-data on every node; data + lock in the home zone.

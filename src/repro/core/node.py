@@ -33,6 +33,7 @@ from repro.messages.sync import Ballot, CheckpointRef
 from repro.pbft.faults import Behavior
 from repro.pbft.host import HostNode
 from repro.pbft.replica import PBFTConfig, PBFTReplica
+from repro.reads import ReadConfig, ReadEngine
 from repro.sim.events import Simulator
 from repro.sim.network import Network
 from repro.sim.process import CostModel
@@ -52,7 +53,8 @@ class ZiziphusNode(HostNode):
                  cost_model: CostModel | None = None,
                  behavior: Behavior | None = None,
                  use_threshold_signatures: bool = False,
-                 backend: BackendSpec | None = None) -> None:
+                 backend: BackendSpec | None = None,
+                 read_config: ReadConfig | None = None) -> None:
         super().__init__(sim, network, keys, node_id,
                          cost_model=cost_model, behavior=behavior)
         self.directory = directory
@@ -83,6 +85,12 @@ class ZiziphusNode(HostNode):
         from repro.core.cross_zone import CrossZoneEngine
         self.cross_zone = CrossZoneEngine(self)
         self.replica.reply_fn = self._route_execution_result
+        self.reads = ReadEngine(self, read_config,
+                                quorum=profile.weak_quorum)
+        if self.reads.enabled:
+            # Watermark shares only flow when the read path is on, so a
+            # write-only deployment stays byte-identical on the wire.
+            self.replica.on_executed = self.reads.on_executed
         self.cluster_engine = None  # attached by the deployment when needed
 
     # ------------------------------------------------------------------

@@ -11,6 +11,8 @@ from repro.messages.pbft import (CheckpointFetch, CheckpointMsg,
                                  CheckpointSnapshot, Commit, NewView, Prepare,
                                  PreparedProof, PrePrepare, ViewChange)
 from repro.messages.query import ResponseQuery
+from repro.messages.reads import (ReadReply, ReadRequest, ReadWatermarkCert,
+                                  WatermarkShare, watermark_body)
 from repro.messages.sync import (GENESIS_BALLOT, Accept, Accepted, Ballot,
                                  CheckpointRef, GlobalCommit, Promise, Propose,
                                  accept_body, accepted_body, commit_body,
@@ -44,11 +46,15 @@ __all__ = [
     "PrePrepare",
     "Promise",
     "Propose",
+    "ReadReply",
+    "ReadRequest",
+    "ReadWatermarkCert",
     "ResponseQuery",
     "Signed",
     "SpanContext",
     "StateTransfer",
     "ViewChange",
+    "WatermarkShare",
     "accept_body",
     "accepted_body",
     "commit_body",
@@ -61,4 +67,5 @@ __all__ = [
     "state_body",
     "trace_id",
     "verify_signed",
+    "watermark_body",
 ]

@@ -31,6 +31,8 @@ from repro.messages.pbft import (CheckpointFetch, CheckpointMsg,
                                  Prepare, PreparedProof, PrePrepare,
                                  ViewChange)
 from repro.messages.query import ResponseQuery
+from repro.messages.reads import (ReadReply, ReadRequest, ReadWatermarkCert,
+                                  WatermarkShare)
 from repro.messages.sync import (Accept, Accepted, Ballot, CheckpointRef,
                                  GlobalCommit, Promise, Propose)
 from repro.messages.trace import SpanContext
@@ -64,12 +66,15 @@ WIRE_MESSAGES: dict[str, type] = {
     "Accept": Accept,
     "Accepted": Accepted,
     "GlobalCommit": GlobalCommit,
+    "WatermarkShare": WatermarkShare,
+    "ReadRequest": ReadRequest,
+    "ReadReply": ReadReply,
 }
 
 #: Messages consumed by clients via direct delivery rather than a
 #: ``register_handler`` dispatch table (see PBFTClient.on_message and
 #: GlobalClient.on_message).
-CLIENT_DELIVERED: frozenset[str] = frozenset({"ClientReply"})
+CLIENT_DELIVERED: frozenset[str] = frozenset({"ClientReply", "ReadReply"})
 
 #: Value types nested inside messages; decodable but never dispatched on.
 NESTED_TYPES: dict[str, type] = {
@@ -81,6 +86,7 @@ NESTED_TYPES: dict[str, type] = {
     "CheckpointRef": CheckpointRef,
     "PreparedProof": PreparedProof,
     "SpanContext": SpanContext,
+    "ReadWatermarkCert": ReadWatermarkCert,
 }
 
 

@@ -276,9 +276,17 @@ def report_json(report: dict) -> str:
 
 def attribution_columns(obs: Any) -> dict[str, float]:
     """``attr.*`` bench-row columns (p50 per hop) of a causal point."""
-    hops = report_from_obs(obs)["hops"]
-    return {f"attr.{name}": hops.get(name, {}).get("p50", 0.0)
-            for name in _HOPS}
+    report = report_from_obs(obs)
+    hops = report["hops"]
+    out = {f"attr.{name}": hops.get(name, {}).get("p50", 0.0)
+           for name in _HOPS}
+    # Certified reads trace as their own transaction kind; the column
+    # appears only when the point issued reads, so write-only causal
+    # rows keep their exact pre-read shape.
+    read = report["kinds"].get("read")
+    if read:
+        out["attr.read_ms"] = read.get("total_ms", {}).get("p50", 0.0)
+    return out
 
 
 def format_report(report: dict) -> str:

@@ -100,6 +100,18 @@ EVENT_KINDS: dict[str, str] = {
     "cross.propose_sent": "CROSS-PROPOSE sent by destination proxies",
     "cross.commit_sent": "CROSS-COMMIT sent to the source cluster",
     "cross.prepared_sent": "PREPARED sent by source proxies",
+    # Certified read path (repro.reads): consensus-free edge reads.
+    "read.watermark": "replica certified a new commit watermark (f+1 "
+                      "matching shares aggregated)",
+    "read.serve": "replica answered a certified read request",
+    "read.complete": "client completed a fast-path read (f+1 verified, "
+                     "bound-checked matching replies)",
+    "read.fallback": "client abandoned the fast path for the "
+                     "transactional path (explicit reason code)",
+    "read.stale": "client rejected a genuine but stale watermark "
+                  "certificate (age over the declared bound)",
+    "read.invalid": "client rejected a provably fabricated read reply "
+                    "(certificate does not bind its claims)",
     # Causal transaction tracing (repro.obs.causal; ``causal`` tier).
     "txn.submit": "client launched a traced request (trace id minted)",
     "txn.reply": "client completed a traced request (f+1 matching replies)",

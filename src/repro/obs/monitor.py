@@ -220,6 +220,8 @@ class ProtocolMonitor:
         self._mig_done: dict[tuple, set] = {}
         self._state_digests: dict[tuple, str] = {}
         self._applied_nodes: dict[tuple, set] = {}
+        # Certified-read state: group -> highest executed sequence seen.
+        self._zone_high: dict[str, int] = {}
         # Liveness watchdog: open item key -> {start, phase, node}.
         self._open: dict[tuple, dict] = {}
         self._finished = False
@@ -235,6 +237,8 @@ class ProtocolMonitor:
             "sync.accepted": self._on_sync_accepted,
             "sync.commit": self._on_sync_commit,
             "sync.execute": self._on_sync_execute,
+            "read.complete": self._on_read_complete,
+            "read.invalid": self._on_read_invalid,
             "migration.executed": self._on_migration_executed,
             "migration.state_sent": self._on_state_sent,
             "migration.applied": self._on_applied,
@@ -379,6 +383,11 @@ class ProtocolMonitor:
         if group is None:
             return
         sequence = f["sequence"]
+        # Commit high-water per group, consulted by the certified-read
+        # checker: an honest read can never cite a watermark sequence
+        # above what some replica actually executed.
+        if sequence > self._zone_high.get(group, -1):
+            self._zone_high[group] = sequence
         # PBFT execution is in-order: executing ``sequence`` means every
         # earlier committed slot on this node was applied (or skipped via
         # a stable checkpoint after recovery), so clear lower-sequence
@@ -448,6 +457,41 @@ class ProtocolMonitor:
                        msg=f["msg"], zone=zone, ref=f.get("ref", ""),
                        reason=reason, signers=sorted(signers),
                        observed_by=node)
+
+    # ------------------------------------------------------------------
+    # (2b) Certified reads (repro.reads)
+    # ------------------------------------------------------------------
+    def _on_read_complete(self, ts: float, node: str, f: dict) -> None:
+        """A completed fast-path read must respect the staleness bound
+        the client declared, and can never cite a watermark sequence
+        beyond what the zone actually executed (a fabricated-future
+        certificate that somehow passed the client's checks)."""
+        self.checked["read.complete"] += 1
+        if f["age_ms"] > f["bound_ms"]:
+            self._flag(ts, "read-stale-violation", node,
+                       dedup_key=(node, f["zone"], f["sequence"]),
+                       zone=f["zone"], sequence=f["sequence"],
+                       age_ms=f["age_ms"], bound_ms=f["bound_ms"])
+        members = self.topology.members(f["zone"])
+        if members is None:
+            return
+        group = ",".join(members)
+        high = self._zone_high.get(group, -1)
+        if f["sequence"] > high:
+            self._flag(ts, "read-ahead-of-execution", node,
+                       dedup_key=(node, f["zone"], f["sequence"]),
+                       zone=f["zone"], sequence=f["sequence"],
+                       executed_high=high)
+
+    def _on_read_invalid(self, ts: float, node: str, f: dict) -> None:
+        """A read reply whose certificate does not bind its claims is
+        provable misbehaviour by the replica that signed and sent it —
+        the client's evidence lands the sender in the culpability
+        table."""
+        self.checked["read.invalid"] += 1
+        self._flag(ts, "read-fabrication", f["sender"],
+                   dedup_key=(f["sender"], f["reason"]),
+                   zone=f["zone"], reason=f["reason"], observed_by=node)
 
     # ------------------------------------------------------------------
     # (3) Data-sync quorum

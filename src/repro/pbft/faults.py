@@ -23,6 +23,8 @@ __all__ = [
     "SilentBehavior",
     "CorruptSignatureBehavior",
     "EquivocatingBehavior",
+    "StaleReadBehavior",
+    "FabricateReadBehavior",
     "BEHAVIOR_NAMES",
     "make_behavior",
 ]
@@ -106,10 +108,65 @@ class EquivocatingBehavior(Behavior):
         return Signed(payload=payload, signature=keys.sign(signer, digest(payload)))
 
 
+class StaleReadBehavior(Behavior):
+    """Serves certified reads from a frozen watermark certificate.
+
+    The replica pins the first read certificate it ever ships and keeps
+    replaying it on every later ``ReadReply`` — a genuine but ever-older
+    view of the zone. The certificate stays cryptographically valid, so
+    the attack is only caught by the client's staleness-bound check
+    (``read.stale`` -> transactional fallback), never by signature
+    verification: exactly the freshness attack the bound exists for.
+    """
+
+    name = "stale-read"
+
+    def __init__(self) -> None:
+        self._pinned = None
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        cert = getattr(payload, "cert", None)
+        if cert is not None and hasattr(payload, "client_id"):
+            if self._pinned is None:
+                self._pinned = (cert, payload.result)
+            else:
+                payload = dataclasses.replace(payload,
+                                              cert=self._pinned[0],
+                                              result=self._pinned[1])
+        return Signed(payload=payload,
+                      signature=keys.sign(signer, digest(payload)))
+
+
+class FabricateReadBehavior(Behavior):
+    """Answers certified reads with claims its certificate cannot bind.
+
+    The replica inflates the certificate's claimed sequence and swaps in
+    a bogus result. The quorum signatures still cover the *original*
+    watermark body, so ``cert.body() != certificate.payload_digest`` at
+    the client — provable fabrication (``read.invalid``) that lands the
+    sender in the monitor's culpability table.
+    """
+
+    name = "fabricate-read"
+
+    def outbound(self, keys: KeyRegistry, signer: str, dst: str,
+                 payload: Any) -> Signed | None:
+        cert = getattr(payload, "cert", None)
+        if cert is not None and hasattr(payload, "client_id"):
+            bogus = dataclasses.replace(cert,
+                                        sequence=cert.sequence + 1_000_000)
+            payload = dataclasses.replace(payload, cert=bogus,
+                                          result=("ok", 0))
+        return Signed(payload=payload,
+                      signature=keys.sign(signer, digest(payload)))
+
+
 _REGISTRY = {
     cls.name: cls
     for cls in (HonestBehavior, CrashBehavior, SilentBehavior,
-                CorruptSignatureBehavior, EquivocatingBehavior)
+                CorruptSignatureBehavior, EquivocatingBehavior,
+                StaleReadBehavior, FabricateReadBehavior)
 }
 
 #: Every instantiable behaviour name, in registration order.

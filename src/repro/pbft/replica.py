@@ -125,6 +125,9 @@ class PBFTReplica:
         self.on_view_change: list[Callable[[], None]] = []
         self.executed_batches = 0
         self.executed_requests = 0
+        #: Optional post-execution hook ``(sequence) -> None``; the read
+        #: engine refreshes its watermark share from here.
+        self.on_executed: Callable[[int], None] | None = None
 
         self.checkpoints = CheckpointManager(
             host=host, group=self.group, f=f, app=app,
@@ -515,6 +518,8 @@ class PBFTReplica:
             slot.executed = True
             self.last_executed = slot.sequence
             self._execute_batch(slot)
+            if self.on_executed is not None:
+                self.on_executed(slot.sequence)
             self.checkpoints.maybe_checkpoint(self.last_executed)
 
     def _execute_batch(self, slot: Slot) -> None:

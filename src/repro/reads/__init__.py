@@ -1,0 +1,13 @@
+"""Certified read path: stale-bounded edge reads without consensus.
+
+Zone replicas continuously certify their committed kvstore state with
+watermark certificates (``f+1`` matching HMAC signatures over
+``(zone, sequence, state_digest, watermark_ts)``); clients then read from
+any ``f+1`` replicas and verify the certificate quorum and staleness bound
+locally, falling back to the transactional path whenever verification,
+freshness, or record ownership cannot be established. See DESIGN.md §14.
+"""
+
+from repro.reads.engine import ReadConfig, ReadEngine
+
+__all__ = ["ReadConfig", "ReadEngine"]

@@ -70,6 +70,11 @@ class ClosedLoopDriver:
                 client.submit(("transfer", peer, amount))
             else:
                 client.submit(arg)
+        elif kind == "read":
+            if hasattr(client, "submit_read"):
+                client.submit_read(arg)
+            else:
+                client.submit_local(arg)
         elif kind == "migrate":
             client.submit_migration(arg)
         elif kind == "xzone":

@@ -28,6 +28,10 @@ class WorkloadMix:
     #: Fraction of *local* draws that become cross-zone transfers
     #: (§IV.B.3) to a peer hosted by another zone.
     cross_zone_fraction: float = 0.0
+    #: Fraction of actions issued as certified reads (repro.reads);
+    #: drawn before everything else so a 95/5 read mix stays mostly
+    #: consensus-free.
+    read_fraction: float = 0.0
     transfer_amount: int = 1
 
     def label(self) -> str:
@@ -78,8 +82,14 @@ class WorkloadGenerator:
                 if z != zone_id and c != client_id]
 
     def next_action(self, client_id: str) -> tuple[str, object]:
-        """Return ``("local", op)``, ``("migrate", dest_zone)`` or
+        """Return ``("read", op)``, ``("local", op)``,
+        ``("migrate", dest_zone)`` or
         ``("xzone", (peer, peer_zone, amount))``."""
+        # Truthiness-gated so a write-only mix draws nothing here and
+        # the RNG stream (hence every trace byte) is unchanged.
+        if self.mix.read_fraction and \
+                self.rng.random() < self.mix.read_fraction:
+            return ("read", ("balance",))
         if len(self.zone_ids) > 1 and self.rng.random() < self.mix.global_fraction:
             return ("migrate", self._pick_dest_zone(client_id))
         zone = self.zone_of_client[client_id]

@@ -143,6 +143,13 @@ def test_codec_round_trips_every_wire_message(keys):
                                                 sender="n1"))
     ckpt = CheckpointRef(zone_id="z0", sequence=10, state_digest=b"s",
                          snapshot={"c": {"bal": 5}})
+    from repro.messages import (ReadReply, ReadRequest, ReadWatermarkCert,
+                                WatermarkShare, watermark_body)
+    wm_body = watermark_body("z0", 4, b"s", 50.0)
+    read_cert = ReadWatermarkCert(
+        zone="z0", sequence=4, state_digest=b"s", watermark_ts=50.0,
+        certificate=QuorumCertificate.aggregate(
+            wm_body, [keys.sign(f"n{i}", wm_body) for i in range(2)]))
     samples = [
         ClientRequest(operation=("op",), timestamp=1, sender="c"),
         MigrationRequest(operation=("mig",), timestamp=1, sender="c",
@@ -195,6 +202,13 @@ def test_codec_round_trips_every_wire_message(keys):
         GlobalCommit(view=0, ballot=ballot, prev_ballot=prev,
                      requests=(req,), cert=cert, checkpoints=(ckpt,),
                      sender="n0"),
+        WatermarkShare(zone="z0", sequence=4, state_digest=b"s",
+                       watermark_ts=50.0,
+                       signature=keys.sign("n1", wm_body), sender="n1"),
+        ReadRequest(operation=("balance",), timestamp=1, sender="c",
+                    session=(("z0", 3),)),
+        ReadReply(timestamp=1, client_id="c", status="ok",
+                  result=("ok", 5), cert=read_cert, sender="n1"),
     ]
     from repro.messages.registry import WIRE_MESSAGES
     assert {type(m).__name__ for m in samples} == set(WIRE_MESSAGES)

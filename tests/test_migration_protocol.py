@@ -77,6 +77,30 @@ def test_two_clients_swap_zones(ziziphus3):
         assert not node.locks.is_current("alice")
 
 
+def test_reads_are_rejected_while_a_migration_is_in_flight(ziziphus3):
+    """The migration-read gap: a replica whose lock bit is FALSE — the
+    record is mid-migration or has migrated away — must answer certified
+    reads with the explicit ``migrating`` fallback code, never with its
+    frozen pre-commit state."""
+    from repro.messages.reads import ReadRequest
+    dep = ziziphus3
+    client = dep.add_client("c1", "z0")
+    drive_to_completion(dep, client, [("local", ("deposit", 50))])
+    request = ReadRequest(operation=("balance",), timestamp=77,
+                          sender="c1", session=())
+    node = dep.zone_nodes("z0")[0]
+    assert node.reads._answer(request).status != "migrating"
+    # Lock bit flips FALSE the moment the migration starts executing.
+    node.locks.mark_stale("c1")
+    assert node.reads._answer(request).status == "migrating"
+    # After a completed migration the whole source zone stays rejected.
+    drive_to_completion(dep, client, [("migrate", "z1")])
+    for source in dep.zone_nodes("z0"):
+        reply = source.reads._answer(request)
+        assert reply.status == "migrating"
+        assert reply.result is None and reply.cert is None
+
+
 def test_healthcare_record_follows_patient():
     from repro.app.healthcare import HealthcareApp
     dep = small_ziziphus(

@@ -1,0 +1,300 @@
+"""Tests for the certified read path (``repro.reads``).
+
+Four layers of coverage:
+
+- *Crypto*: watermark certificates aggregate at the weak quorum (f+1)
+  and forged or foreign signatures can never complete one.
+- *Monitor*: synthetic ``read.complete`` / ``read.invalid`` events drive
+  the staleness and fabrication checkers (no simulator needed).
+- *Integration*: fast-path reads against a live deployment — including
+  read-your-writes across a migration — and the explicit fallback to
+  the transactional path when no watermark exists yet.
+- *Silence*: with reads disabled (the default), no ``read.*`` events and
+  no watermark state appear anywhere, preserving byte-identical traces.
+"""
+
+import dataclasses
+
+from repro.bench.runner import PointSpec, run_point
+from repro.crypto.certificates import CertificateVerifier, QuorumCertificate
+from repro.messages.reads import ReadRequest, ReadWatermarkCert, watermark_body
+from repro.obs.bus import Instrumentation
+from repro.obs.monitor import MonitorTopology, ProtocolMonitor
+from repro.quorums import weak_quorum
+from repro.reads import ReadConfig
+from tests.conftest import small_ziziphus
+
+
+def read_ziziphus(**overrides):
+    return small_ziziphus(num_zones=3, f=1,
+                          read=ReadConfig(enabled=True), **overrides)
+
+
+def run_actions(dep, client, actions, step_ms=40_000.0, max_steps=20):
+    """Closed-loop driver that also understands ``("read", op)`` actions."""
+    records = []
+    plan = list(actions)
+
+    def advance(record=None):
+        if record is not None:
+            records.append(record)
+        if len(records) < len(plan):
+            kind, arg = plan[len(records)]
+            if kind == "local":
+                client.submit_local(arg)
+            elif kind == "read":
+                client.submit_read(arg)
+            else:
+                client.submit_migration(arg)
+
+    client.on_complete = advance
+    dep.sim.schedule(0.0, advance)
+    for _ in range(max_steps):
+        dep.sim.run(until=dep.sim.now + step_ms)
+        if len(records) >= len(plan):
+            break
+    return records
+
+
+# ----------------------------------------------------------------------
+# Crypto: quorum aggregation and forgery rejection
+# ----------------------------------------------------------------------
+def make_cert(keys, signers, f=1, sequence=4):
+    body = watermark_body("z0", sequence, b"s", 50.0)
+    sigs = [keys.sign(s, body) if ok else keys.forged(s)
+            for s, ok in signers]
+    return ReadWatermarkCert(
+        zone="z0", sequence=sequence, state_digest=b"s", watermark_ts=50.0,
+        certificate=QuorumCertificate.aggregate(body, sigs))
+
+
+def test_weak_quorum_of_genuine_shares_verifies():
+    from repro.crypto.keys import KeyRegistry
+    keys = KeyRegistry(seed=7)
+    members = frozenset({"n0", "n1", "n2", "n3"})
+    cert = make_cert(keys, [("n0", True), ("n1", True)])
+    verifier = CertificateVerifier(keys)
+    assert verifier.is_valid(cert.certificate, weak_quorum(1), members)
+    assert cert.body() == cert.certificate.payload_digest
+
+
+def test_forged_share_cannot_complete_a_quorum():
+    from repro.crypto.keys import KeyRegistry
+    keys = KeyRegistry(seed=7)
+    members = frozenset({"n0", "n1", "n2", "n3"})
+    verifier = CertificateVerifier(keys)
+    # f genuine + 1 forged signature: below the weak quorum.
+    forged = make_cert(keys, [("n0", True), ("n1", False)])
+    assert not verifier.is_valid(forged.certificate, weak_quorum(1), members)
+    # f genuine + 1 from outside the zone: the foreign signer is ignored.
+    foreign = make_cert(keys, [("n0", True), ("zz", True)])
+    assert not verifier.is_valid(foreign.certificate, weak_quorum(1), members)
+
+
+def test_fabricated_claim_is_detected_by_body_mismatch():
+    """Mutating any certified field breaks the body/payload binding the
+    client checks — the fabrication is provable from the cert alone."""
+    from repro.crypto.keys import KeyRegistry
+    keys = KeyRegistry(seed=7)
+    cert = make_cert(keys, [("n0", True), ("n1", True)])
+    bogus = dataclasses.replace(cert, sequence=cert.sequence + 1_000_000)
+    assert bogus.body() != bogus.certificate.payload_digest
+
+
+def test_client_rejects_fabricated_and_under_quorum_certs():
+    dep = read_ziziphus()
+    client = dep.add_client("c1", "z0")
+    zone = dep.directory.zone("z0")
+    good = make_cert(dep.keys, [("z0n0", True), ("z0n1", True)])
+    good = dataclasses.replace(good, zone="z0")
+    # Rebuild over the right zone id so the body binds.
+    body = watermark_body("z0", 4, b"s", 50.0)
+    good = ReadWatermarkCert(
+        zone="z0", sequence=4, state_digest=b"s", watermark_ts=50.0,
+        certificate=QuorumCertificate.aggregate(
+            body, [dep.keys.sign("z0n0", body), dep.keys.sign("z0n1", body)]))
+    assert client._cert_problem(good, zone) is None
+    assert client._cert_problem(None, zone) == "missing-cert"
+    assert client._cert_problem(
+        dataclasses.replace(good, sequence=5), zone) == "claim-mismatch"
+    under = ReadWatermarkCert(
+        zone="z0", sequence=4, state_digest=b"s", watermark_ts=50.0,
+        certificate=QuorumCertificate.aggregate(
+            body, [dep.keys.sign("z0n0", body), dep.keys.forged("z0n1")]))
+    assert client._cert_problem(under, zone) == "bad-quorum"
+
+
+# ----------------------------------------------------------------------
+# Monitor: synthetic events straight into the read checkers
+# ----------------------------------------------------------------------
+MEMBERS = ["z0n0", "z0n1", "z0n2", "z0n3"]
+
+
+def read_monitor():
+    topology = MonitorTopology(
+        zones={"z0": {"members": MEMBERS, "f": 1, "cluster": "c0"}},
+        clusters={"c0": ["z0"]})
+    return ProtocolMonitor(topology=topology)
+
+
+def executed(monitor, ts, sequence):
+    monitor.on_event(ts, "pbft.execute", "z0n0",
+                     {"view": 0, "sequence": sequence, "batch": 1,
+                      "group": ",".join(MEMBERS)})
+
+
+def read_complete(monitor, ts, *, sequence, age_ms, bound_ms=300.0):
+    monitor.on_event(ts, "read.complete", "c1",
+                     {"zone": "z0", "sequence": sequence,
+                      "age_ms": age_ms, "bound_ms": bound_ms})
+
+
+def test_monitor_accepts_in_bound_read():
+    monitor = read_monitor()
+    executed(monitor, 10.0, sequence=3)
+    read_complete(monitor, 20.0, sequence=3, age_ms=120.0)
+    assert monitor.clean
+
+
+def test_monitor_flags_over_bound_read():
+    monitor = read_monitor()
+    executed(monitor, 10.0, sequence=3)
+    read_complete(monitor, 20.0, sequence=3, age_ms=450.0)
+    assert [v.kind for v in monitor.violations] == ["read-stale-violation"]
+    (violation,) = monitor.violations
+    assert violation.detail["age_ms"] == 450.0
+
+
+def test_monitor_flags_read_ahead_of_execution():
+    """An honest read can never cite a watermark sequence above what any
+    replica of the zone actually executed."""
+    monitor = read_monitor()
+    executed(monitor, 10.0, sequence=3)
+    read_complete(monitor, 20.0, sequence=9, age_ms=10.0)
+    assert [v.kind for v in monitor.violations] == ["read-ahead-of-execution"]
+
+
+def test_monitor_attributes_fabrication_to_the_sender():
+    monitor = read_monitor()
+    monitor.on_event(20.0, "read.invalid", "c1",
+                     {"sender": "z0n2", "zone": "z0",
+                      "reason": "claim-mismatch"})
+    assert [v.kind for v in monitor.violations] == ["read-fabrication"]
+    culpability = monitor.culpability()
+    assert "z0n2" in culpability          # the fabricator, not the client
+    assert "c1" not in culpability
+    assert culpability["z0n2"]["read-fabrication"] == 1
+
+
+# ----------------------------------------------------------------------
+# Integration: live deployments
+# ----------------------------------------------------------------------
+def test_certified_read_takes_the_fast_path():
+    dep = read_ziziphus()
+    client = dep.add_client("c1", "z0")
+    records = run_actions(dep, client, [
+        ("local", ("deposit", 5)),
+        ("read", ("balance",)),
+    ])
+    assert records[1].result == ("ok", 10_005)
+    assert records[1].labels == {"read": "fast"}
+    # The verified watermark advanced the client's session vector.
+    assert client.session.get("z0", 0) >= 1
+    assert any(node.reads.reads_served > 0 for node in dep.zone_nodes("z0"))
+
+
+def test_read_your_writes_across_migration():
+    """Causal session mode: after migrating, a certified read observes
+    every write the same session performed — in both zones."""
+    dep = read_ziziphus()
+    client = dep.add_client("c1", "z0")
+    records = run_actions(dep, client, [
+        ("local", ("deposit", 1)),
+        ("read", ("balance",)),
+        ("migrate", "z1"),
+        ("local", ("deposit", 2)),
+        ("read", ("balance",)),
+    ])
+    assert records[1].result == ("ok", 10_001)
+    assert records[2].result == ("migrated", "ok", "z1")
+    assert records[4].result == ("ok", 10_003)
+    assert records[4].labels["read"] == "fast"
+
+
+def test_read_without_watermark_falls_back_transparently():
+    """Before any committed write the zone has no watermark certificate:
+    replicas answer ``no-watermark`` and the client silently retries on
+    the transactional path, which still returns the right answer."""
+    dep = read_ziziphus()
+    client = dep.add_client("c1", "z0")
+    obs = Instrumentation(recording=True)
+    obs.attach(dep)
+    records = run_actions(dep, client, [("read", ("balance",))])
+    assert records[0].result == ("ok", 10_000)
+    assert records[0].labels == {"read": "fallback"}
+    reasons = [e.fields["reason"] for e in obs.events
+               if e.kind == "read.fallback"]
+    assert reasons == ["no-watermark"]
+
+
+def test_fast_read_beats_the_transactional_path():
+    dep = read_ziziphus()
+    client = dep.add_client("c1", "z0")
+    records = run_actions(dep, client, [
+        ("local", ("deposit", 1)),
+        ("local", ("balance",)),
+        ("read", ("balance",)),
+    ])
+    transactional = records[1]
+    fast = records[2]
+    assert fast.labels == {"read": "fast"}
+    assert fast.latency_ms < transactional.latency_ms
+
+
+# ----------------------------------------------------------------------
+# Silence: reads disabled must leave no trace
+# ----------------------------------------------------------------------
+def test_write_only_run_emits_no_read_traffic():
+    dep = small_ziziphus()          # reads disabled (the default)
+    obs = Instrumentation(recording=True)
+    obs.attach(dep)
+    client = dep.add_client("c1", "z0")
+    records = run_actions(dep, client, [
+        ("local", ("deposit", 9)),
+        ("migrate", "z1"),
+        ("local", ("balance",)),
+    ])
+    assert records[-1].result == ("ok", 10_009)
+    assert not any(e.kind.startswith("read.") for e in obs.events)
+    for node in dep.nodes.values():
+        assert not node.reads.enabled
+        assert node.reads.cert is None          # no watermark ever formed
+        assert node.reads._votes == {}          # no share ever arrived
+    # submit_read degrades to submit_local when the path is disabled.
+    more = run_actions(dep, client, [("read", ("balance",))])
+    assert more[0].result == ("ok", 10_009)
+    assert more[0].labels == {}
+
+
+# ----------------------------------------------------------------------
+# Bench plumbing: read columns and a clean monitor on honest runs
+# ----------------------------------------------------------------------
+def test_read_mix_point_reports_read_columns_and_stays_clean():
+    spec = PointSpec(protocol="ziziphus", num_zones=3,
+                     clients_per_zone=10, read_fraction=0.9,
+                     warmup_ms=200.0, measure_ms=400.0, monitor=True)
+    result = run_point(spec)
+    row = result.row()
+    assert row["read%"] == 90
+    assert row["read_p50_ms"] > 0
+    assert row["read_fast"] > 0.5
+    assert row["read_fallbacks"] < row["read_fast"]
+    assert result.monitor.clean, [v.kind for v in result.monitor.violations]
+
+
+def test_write_only_point_has_no_read_columns():
+    spec = PointSpec(protocol="ziziphus", num_zones=3,
+                     clients_per_zone=10, warmup_ms=200.0, measure_ms=400.0)
+    row = run_point(spec).row()
+    assert "read%" not in row
+    assert not any(key.startswith("read_") for key in row)
